@@ -1,0 +1,83 @@
+// Ablation for §4.3's design choice: "In the current implementation we use
+// a kernel-to-kernel UDP connection for the acknowledgement channel,
+// trading low overhead against ... client re-transmissions if packets on
+// the acknowledgement channel are lost."
+//
+// Sweeps random loss on the backup's link (which carries both the
+// backup's copy of client data and its acknowledgement-channel reports)
+// and shows the service survives with degraded throughput, paid for in
+// client retransmissions and timeouts.
+#include "common/logging.hpp"
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+
+int main() {
+  hydranet::set_log_level(hydranet::LogLevel::error);
+  using namespace hydranet;
+
+  std::printf("HydraNet-FT: acknowledgement-channel loss tolerance\n");
+  std::printf("(Bernoulli loss on the redirector<->backup link; 1 MB, "
+              "1024-byte writes)\n\n");
+  std::printf("%-10s %14s %14s %12s %10s %16s\n", "loss", "kB/s",
+              "client rtx", "timeouts", "finished", "backup coverage");
+
+  for (double loss : {0.0, 0.01, 0.03, 0.05, 0.10, 0.20}) {
+    testbed::TestbedConfig config;
+    config.setup = testbed::Setup::primary_backup;
+    config.backups = 1;
+    // Detection must stay out of the way: this experiment studies loss
+    // recovery, not shut-down policy.
+    config.detector.retransmission_threshold = 1000;
+
+    testbed::Testbed bed(config);
+    bed.server_link(1).set_loss_model(
+        std::make_unique<link::BernoulliLoss>(loss));
+
+    std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+    for (std::size_t i = 0; i < bed.server_count(); ++i) {
+      receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+          bed.server(i), config.service.address, config.service.port));
+    }
+    apps::TtcpTransmitter::Config tx;
+    tx.server = config.service;
+    tx.total_bytes = 1024 * 1024;
+    tx.write_size = 1024;
+    apps::TtcpTransmitter transmitter(bed.client(), tx);
+    (void)transmitter.start();
+    bed.net().run_for(sim::seconds(600));
+
+    double kBps = 0;
+    for (auto& receiver : receivers) {
+      for (const auto& report : receiver->reports()) {
+        if (report.eof) kBps = std::max(kBps, report.throughput_kBps());
+      }
+    }
+    // How much of the stream the backup actually holds.  If the backup
+    // missed the connection's SYN (possible at high loss), the ft layer
+    // degrades to pass-through: the stream flows unprotected at this
+    // replica rather than stalling (coverage ~0%).
+    double coverage = tx.total_bytes > 0
+                          ? 100.0 * static_cast<double>(
+                                        receivers[1]->total_bytes()) /
+                                static_cast<double>(tx.total_bytes)
+                          : 0;
+    auto connection = transmitter.connection();
+    std::printf("%-9.0f%% %14.1f %14llu %12llu %10s %15.0f%%\n", loss * 100,
+                kBps,
+                static_cast<unsigned long long>(
+                    connection->stats().retransmits),
+                static_cast<unsigned long long>(connection->stats().timeouts),
+                transmitter.report().finished ? "yes" : "NO", coverage);
+  }
+
+  std::printf(
+      "\nExpected: every row finishes.  Each loss on the backup link stalls\n"
+      "the primary's deposit gate until the client's (~1 s, BSD-style)\n"
+      "retransmission timeout fires — the paper's observation that 'it is\n"
+      "the lengthy timeout, not the re-transmission, which affects the\n"
+      "performance'.  If the backup misses the SYN entirely, the replica\n"
+      "degrades to pass-through (coverage ~0%%) instead of stalling.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Substrate micro-benchmarks (google-benchmark): wire-format serialisation,
+// checksums, the event scheduler, and the reassembly buffer — the inner
+// loops every simulated packet passes through.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/tcp_header.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/reassembly.hpp"
+
+namespace {
+
+using namespace hydranet;
+
+void BM_InternetChecksum(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(40)->Arg(576)->Arg(1500)->Arg(65536);
+
+void BM_TcpSerialize(benchmark::State& state) {
+  net::TcpSegment segment;
+  segment.header.src_port = 40000;
+  segment.header.dst_port = 80;
+  segment.header.seq = 12345;
+  segment.header.ack = 67890;
+  segment.header.ack_flag = true;
+  segment.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  net::Ipv4Address src(10, 0, 1, 2), dst(192, 20, 225, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::serialize_tcp(segment, src, dst));
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 20));
+}
+BENCHMARK(BM_TcpSerialize)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_TcpParse(benchmark::State& state) {
+  net::TcpSegment segment;
+  segment.header.src_port = 40000;
+  segment.header.dst_port = 80;
+  segment.header.ack_flag = true;
+  segment.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  net::Ipv4Address src(10, 0, 1, 2), dst(192, 20, 225, 20);
+  Bytes wire = net::serialize_tcp(segment, src, dst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_tcp(wire, src, dst));
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 20));
+}
+BENCHMARK(BM_TcpParse)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_Ipv4DatagramRoundTrip(benchmark::State& state) {
+  net::Datagram datagram;
+  datagram.header.protocol = net::IpProto::udp;
+  datagram.header.src = net::Ipv4Address(1, 2, 3, 4);
+  datagram.header.dst = net::Ipv4Address(5, 6, 7, 8);
+  datagram.payload.assign(1024, 0x33);
+  for (auto _ : state) {
+    Bytes wire = datagram.serialize();
+    benchmark::DoNotOptimize(net::Datagram::parse(wire));
+  }
+}
+BENCHMARK(BM_Ipv4DatagramRoundTrip);
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (int i = 0; i < batch; ++i) {
+      scheduler.schedule_after(sim::microseconds(i % 100), [] {});
+    }
+    scheduler.run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(100)->Arg(10000);
+
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  // The retransmission-timer pattern: arm, cancel, re-arm continuously.
+  sim::Scheduler scheduler;
+  sim::TimerId timer = sim::kInvalidTimer;
+  for (auto _ : state) {
+    scheduler.cancel(timer);
+    timer = scheduler.schedule_after(sim::seconds(1), [] {});
+    scheduler.run_until(scheduler.now() + sim::microseconds(1));
+  }
+}
+BENCHMARK(BM_SchedulerCancelChurn);
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+  Bytes chunk(1460, 0x77);
+  for (auto _ : state) {
+    tcp::ReassemblyBuffer buffer;
+    std::uint64_t base = 0;
+    for (int i = 0; i < 64; ++i) {
+      (void)buffer.insert(base, chunk, base, base + (1 << 20));
+      Bytes out = buffer.extract(base, base + chunk.size());
+      benchmark::DoNotOptimize(out);
+      base += chunk.size();
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 1460);
+}
+BENCHMARK(BM_ReassemblyInOrder);
+
+void BM_ReassemblyOutOfOrder(benchmark::State& state) {
+  Bytes chunk(1460, 0x77);
+  for (auto _ : state) {
+    tcp::ReassemblyBuffer buffer;
+    // 32 segments inserted back-to-front, then drained.
+    for (int i = 31; i >= 0; --i) {
+      (void)buffer.insert(static_cast<std::uint64_t>(i) * 1460, chunk, 0,
+                          1 << 20);
+    }
+    Bytes out = buffer.extract(0, 32 * 1460);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1460);
+}
+BENCHMARK(BM_ReassemblyOutOfOrder);
+
+void BM_Fnv1aPattern(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t b : data) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv1aPattern)->Arg(1460);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Redirector data-plane costs (§4.2: "One goal in HydraNet-FT was to keep
+// the operation within redirectors as simple as possible").
+//
+// google-benchmark micro measurements of the redirector-table lookup as
+// the table grows, plus simulated end-to-end comparisons of the three
+// data-plane behaviours (miss/forward, scaled redirect, FT multicast).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "redirector/redirector.hpp"
+
+namespace {
+
+using namespace hydranet;
+
+void BM_RedirectorTableLookup(benchmark::State& state) {
+  host::Network net;
+  host::Host& router = net.add_host("rd");
+  router.add_interface("eth0", net::Ipv4Address(10, 0, 0, 1), 24);
+  redirector::Redirector redirector(router);
+
+  const auto entries = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    net::Endpoint service{net::Ipv4Address(0xC0000000u + i), 80};
+    redirector.install_service(service, redirector::ServiceMode::scaled,
+                               net::Ipv4Address(10, 0, 0, 2));
+  }
+  net::Endpoint probe{net::Ipv4Address(0xC0000000u + entries / 2), 80};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redirector.lookup(probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RedirectorTableLookup)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RedirectorMissLookup(benchmark::State& state) {
+  host::Network net;
+  host::Host& router = net.add_host("rd");
+  router.add_interface("eth0", net::Ipv4Address(10, 0, 0, 1), 24);
+  redirector::Redirector redirector(router);
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    net::Endpoint service{net::Ipv4Address(0xC0000000u + i), 80};
+    redirector.install_service(service, redirector::ServiceMode::scaled,
+                               net::Ipv4Address(10, 0, 0, 2));
+  }
+  net::Endpoint miss{net::Ipv4Address(10, 9, 9, 9), 4242};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redirector.lookup(miss));
+  }
+}
+BENCHMARK(BM_RedirectorMissLookup);
+
+/// Simulated per-datagram data-plane work, measured as wall time per
+/// simulated UDP datagram pushed through the transit hook.
+void BM_DataPlaneTransit(benchmark::State& state) {
+  const bool fault_tolerant = state.range(0) == 2;
+  const bool redirected = state.range(0) >= 1;
+
+  host::Network net;
+  host::Host& client = net.add_host("client");
+  host::Host& router = net.add_host("rd");
+  host::Host& s1 = net.add_host("s1");
+  host::Host& s2 = net.add_host("s2");
+  net.connect(client, net::Ipv4Address(10, 0, 1, 2), router,
+              net::Ipv4Address(10, 0, 1, 1), 24);
+  net.connect(router, net::Ipv4Address(10, 0, 2, 1), s1,
+              net::Ipv4Address(10, 0, 2, 2), 24);
+  net.connect(router, net::Ipv4Address(10, 0, 3, 1), s2,
+              net::Ipv4Address(10, 0, 3, 2), 24);
+  client.ip().add_default_route(net::Ipv4Address(10, 0, 1, 1), nullptr);
+  redirector::Redirector redirector(router);
+
+  net::Endpoint service{net::Ipv4Address(192, 20, 225, 20), 80};
+  router.ip().add_route(service.address, 32, net::Ipv4Address(10, 0, 2, 2),
+                        nullptr);
+  s1.v_host(service.address);
+  s2.v_host(service.address);
+  if (redirected) {
+    redirector.install_service(service,
+                               fault_tolerant
+                                   ? redirector::ServiceMode::fault_tolerant
+                                   : redirector::ServiceMode::scaled,
+                               net::Ipv4Address(10, 0, 2, 2));
+    if (fault_tolerant) {
+      (void)redirector.add_backup(service, net::Ipv4Address(10, 0, 3, 2));
+    }
+  }
+
+  auto socket = client.udp().bind(net::Ipv4Address(), 0).value();
+  Bytes payload(512, 0xaa);
+  for (auto _ : state) {
+    (void)socket->send_to(service, payload);
+    net.run();
+  }
+  state.SetLabel(!redirected ? "forward-miss"
+                 : fault_tolerant ? "ft-multicast"
+                                  : "scaled-redirect");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DataPlaneTransit)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation beyond the paper: would SACK (RFC 2018 — contemporary with
+// HydraNet-FT) have helped?
+//
+// The paper's §5 analysis blames "timeouts at the client, with successive
+// re-transmission" for most FT-mode performance loss.  SACK attacks
+// exactly that: multi-loss windows repair from the scoreboard instead of
+// degenerating into RTOs.  This bench sweeps loss on the client's access
+// link over the full FT testbed (primary + backup), with and without SACK.
+#include "common/logging.hpp"
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hydranet;
+
+struct SackRow {
+  double kBps = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retransmits = 0;
+  bool finished = false;
+};
+
+SackRow run(double loss, bool bursty, bool sack, std::uint64_t seed) {
+  testbed::TestbedConfig config;
+  config.setup = testbed::Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 1000;  // study loss, not failover
+  config.seed = seed;
+  testbed::Testbed bed(config);
+  if (bursty) {
+    link::GilbertElliottLoss::Params params;
+    params.p_good = loss / 4;
+    params.p_bad = 0.5;
+    params.p_good_to_bad = loss;
+    params.p_bad_to_good = 0.25;
+    bed.client_link().set_loss_model(
+        std::make_unique<link::GilbertElliottLoss>(params));
+  } else if (loss > 0) {
+    bed.client_link().set_loss_model(
+        std::make_unique<link::BernoulliLoss>(loss));
+  }
+
+  tcp::TcpOptions options = apps::period_tcp_options();
+  options.sack = sack;
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port, options));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = 1024 * 1024;
+  tx.write_size = 1024;
+  tx.tcp = options;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  if (!transmitter.start().ok()) return {};
+  bed.net().run_for(sim::seconds(600));
+
+  SackRow row;
+  row.finished = transmitter.report().finished;
+  row.timeouts = transmitter.connection()->stats().timeouts;
+  row.retransmits = transmitter.connection()->stats().retransmits +
+                    transmitter.connection()->stats().sack_retransmits;
+  for (auto& receiver : receivers) {
+    for (const auto& report : receiver->reports()) {
+      if (report.eof) row.kBps = std::max(row.kBps, report.throughput_kBps());
+    }
+  }
+  return row;
+}
+
+void sweep(bool bursty) {
+  std::printf("%-10s %12s %12s %10s %10s %12s %12s\n", "loss", "reno kB/s",
+              "sack kB/s", "reno RTO", "sack RTO", "reno rtx", "sack rtx");
+  for (double loss : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    SackRow reno = run(loss, bursty, false, 7);
+    SackRow sack = run(loss, bursty, true, 7);
+    std::printf("%-9.0f%% %12.1f %12.1f %10llu %10llu %12llu %12llu%s\n",
+                loss * 100, reno.kBps, sack.kBps,
+                static_cast<unsigned long long>(reno.timeouts),
+                static_cast<unsigned long long>(sack.timeouts),
+                static_cast<unsigned long long>(reno.retransmits),
+                static_cast<unsigned long long>(sack.retransmits),
+                reno.finished && sack.finished ? "" : "  [INCOMPLETE]");
+  }
+}
+
+}  // namespace
+
+int main() {
+  hydranet::set_log_level(hydranet::LogLevel::error);
+  std::printf("HydraNet-FT + SACK ablation (primary+backup testbed, 1 MB, "
+              "1024-byte writes)\n\n");
+  std::printf("-- independent (Bernoulli) loss on the client link --\n");
+  sweep(false);
+  std::printf("\n-- bursty (Gilbert-Elliott) loss on the client link --\n");
+  sweep(true);
+  std::printf("\nExpected: with loss present, SACK trims RTO counts and\n"
+              "recovers throughput — attacking exactly the 'lengthy\n"
+              "timeout' cost the paper identified.  The ft-TCP gating is\n"
+              "SACK-safe: staged-but-undeposited data is never SACKed.\n");
+  return 0;
+}

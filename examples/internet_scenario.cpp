@@ -1,0 +1,180 @@
+// The paper's Figure 1 scenario, end to end.
+//
+// Two ISPs share an internetwork: southwest.net and northeast.net.
+// northeast.net routes its traffic through a redirector and operates a
+// host server.  Two services coexist:
+//
+//   * www.northwest.com       — a web service, replicated for SCALING:
+//                               northeast's clients are served by a nearby
+//                               replica on the host server, southwest's
+//                               clients go to the origin host directly;
+//   * audio.south.com         — a media service, replicated for FAULT
+//                               TOLERANCE on the origin host + the host
+//                               server; mid-broadcast, the audio origin
+//                               host dies and the broadcast continues.
+//
+//   sw_client --- backbone ---+                +--- host_server
+//                             |                |     (web replica + audio backup)
+//                          backbone --- redirector
+//                             |                |
+//   www_origin ---------------+                +--- ne_client
+//   audio_origin -------------+
+#include "common/logging.hpp"
+#include <cstdio>
+
+#include "apps/http.hpp"
+#include "apps/stream.hpp"
+#include "apps/ttcp.hpp"
+#include "host/network.hpp"
+#include "mgmt/host_agent.hpp"
+#include "mgmt/redirector_agent.hpp"
+#include "redirector/redirector.hpp"
+
+using namespace hydranet;
+
+namespace {
+net::Ipv4Address ip4(int a, int b, int c, int d) {
+  return net::Ipv4Address(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b),
+                          static_cast<std::uint8_t>(c),
+                          static_cast<std::uint8_t>(d));
+}
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::error);
+  host::Network net(1900);
+
+  // -- topology ------------------------------------------------------------
+  host::Host& backbone = net.add_host("backbone");      // core router
+  host::Host& redirector_host = net.add_host("redirector");
+  host::Host& sw_client = net.add_host("sw_client");    // southwest.net user
+  host::Host& ne_client = net.add_host("ne_client");    // northeast.net user
+  host::Host& www_origin = net.add_host("www_origin");  // northwest.com
+  host::Host& audio_origin = net.add_host("audio_origin");  // south.com
+  host::Host& host_server = net.add_host("host_server");    // northeast.net
+
+  link::Link::Config wan;
+  wan.propagation = sim::milliseconds(15);  // a real WAN hop
+  link::Link::Config lan;
+
+  net.connect(sw_client, ip4(20, 1, 1, 2), backbone, ip4(20, 1, 1, 1), 24, lan);
+  net.connect(www_origin, ip4(20, 2, 1, 2), backbone, ip4(20, 2, 1, 1), 24, lan);
+  net.connect(audio_origin, ip4(20, 3, 1, 2), backbone, ip4(20, 3, 1, 1), 24, lan);
+  net.connect(backbone, ip4(20, 9, 1, 1), redirector_host, ip4(20, 9, 1, 2), 24, wan);
+  net.connect(redirector_host, ip4(30, 1, 1, 1), ne_client, ip4(30, 1, 1, 2), 24, lan);
+  net.connect(redirector_host, ip4(30, 2, 1, 1), host_server, ip4(30, 2, 1, 2), 24, lan);
+
+  sw_client.ip().add_default_route(ip4(20, 1, 1, 1), nullptr);
+  www_origin.ip().add_default_route(ip4(20, 2, 1, 1), nullptr);
+  audio_origin.ip().add_default_route(ip4(20, 3, 1, 1), nullptr);
+  ne_client.ip().add_default_route(ip4(30, 1, 1, 1), nullptr);
+  host_server.ip().add_default_route(ip4(30, 2, 1, 1), nullptr);
+  backbone.ip().add_route(ip4(30, 0, 0, 0), 8, ip4(20, 9, 1, 2), nullptr);
+  redirector_host.ip().add_default_route(ip4(20, 9, 1, 1), nullptr);
+
+  // Service addresses live on their origin hosts.
+  const net::Ipv4Address www = ip4(192, 20, 225, 20);   // www.northwest.com
+  const net::Ipv4Address audio = ip4(193, 40, 7, 7);    // audio.south.com
+  www_origin.ip().add_local_alias(www);
+  audio_origin.ip().add_local_alias(audio);
+  backbone.ip().add_route(www, 32, ip4(20, 2, 1, 2), nullptr);
+  backbone.ip().add_route(audio, 32, ip4(20, 3, 1, 2), nullptr);
+
+  // -- HydraNet deployment ---------------------------------------------------
+  redirector::Redirector redirector(redirector_host);
+  mgmt::RedirectorAgent redirector_agent(redirector_host, redirector);
+  mgmt::HostAgent host_server_agent(host_server, ip4(30, 2, 1, 1));
+  mgmt::HostAgent audio_origin_agent(audio_origin, ip4(20, 9, 1, 2));
+
+  // Web: scaled replica near northeast's clients (no chain).
+  host_server_agent.install_scaled_replica({www, 80});
+  apps::HttpServer origin_httpd(www_origin,
+                                {.listen_address = www, .port = 80});
+  apps::HttpServer replica_httpd(host_server,
+                                 {.listen_address = www, .port = 80});
+
+  // Audio: fault-tolerant — primary on the origin, backup on the host
+  // server, both accessible through the redirector.
+  ftcp::DetectorParams detector;
+  detector.retransmission_threshold = 3;
+  audio_origin_agent.install_replica({audio, 8000}, tcp::ReplicaMode::primary,
+                                     detector);
+  host_server_agent.install_replica({audio, 8000}, tcp::ReplicaMode::backup,
+                                    detector);
+
+  apps::StreamingSource::Config audio_config;
+  audio_config.listen_address = audio;
+  audio_config.port = 8000;
+  audio_config.chunk_size = 1200;
+  audio_config.interval = sim::milliseconds(20);
+  audio_config.total_bytes = 2 * 1024 * 1024;
+  audio_config.tcp = apps::period_tcp_options();
+  apps::StreamingSource audio_primary(audio_origin, audio_config);
+  apps::StreamingSource audio_backup(host_server, audio_config);
+
+  net.run_for(sim::seconds(2));  // registrations settle
+  std::printf("deployed: www (scaled) -> host_server; audio (FT) chain of "
+              "%zu replicas\n",
+              redirector_agent.chain({audio, 8000}).size());
+
+  // -- clients ---------------------------------------------------------------
+  // northeast browser: redirected to the nearby replica.
+  apps::HttpClient ne_browser(ne_client,
+                              {.server = {www, 80},
+                               .paths = {"/home", "/news", "/sports"}});
+  (void)ne_browser.start();
+  // southwest browser: no redirector on its path — served by the origin.
+  apps::HttpClient sw_browser(sw_client,
+                              {.server = {www, 80},
+                               .paths = {"/home", "/finance"}});
+  (void)sw_browser.start();
+  // northeast listener tunes into the fault-tolerant audio broadcast.
+  apps::StreamingSink::Config listener_config;
+  listener_config.server = {audio, 8000};
+  listener_config.stall_threshold = sim::milliseconds(250);
+  listener_config.tcp = apps::period_tcp_options();
+  apps::StreamingSink listener(ne_client, listener_config);
+  (void)listener.start();
+
+  net.run_for(sim::seconds(8));
+  std::printf("t=%.0fs: audio at %zu bytes; AUDIO ORIGIN HOST DIES\n",
+              net.now().seconds(), listener.report().bytes);
+  audio_origin.crash();
+
+  net.run_for(sim::seconds(180));
+
+  // -- results ---------------------------------------------------------------
+  std::printf("\nweb (scaling):\n");
+  std::printf("  northeast browser: %zu/3 responses ok=%s (served by nearby "
+              "replica: %llu)\n",
+              ne_browser.report().responses,
+              ne_browser.report().all_ok ? "yes" : "NO",
+              static_cast<unsigned long long>(replica_httpd.requests_served()));
+  std::printf("  southwest browser: %zu/2 responses ok=%s (served by origin: "
+              "%llu)\n",
+              sw_browser.report().responses,
+              sw_browser.report().all_ok ? "yes" : "NO",
+              static_cast<unsigned long long>(origin_httpd.requests_served()));
+
+  const auto& audio_report = listener.report();
+  bool audio_exact =
+      audio_report.bytes == audio_config.total_bytes &&
+      audio_report.checksum ==
+          apps::fnv1a(apps::ttcp_pattern(audio_config.total_bytes, 0));
+  std::printf("\naudio (fault tolerance):\n");
+  std::printf("  broadcast %s, %zu bytes, byte-exact=%s, worst stall %.0f ms\n",
+              audio_report.eof ? "completed" : "INCOMPLETE",
+              audio_report.bytes, audio_exact ? "yes" : "NO",
+              audio_report.max_gap.millis());
+  auto chain = redirector_agent.chain({audio, 8000});
+  std::printf("  surviving audio chain: %zu replica (on the host server)\n",
+              chain.size());
+
+  bool ok = ne_browser.report().all_ok && sw_browser.report().all_ok &&
+            replica_httpd.requests_served() == 3 &&
+            origin_httpd.requests_served() == 2 && audio_report.eof &&
+            audio_exact && chain.size() == 1;
+  std::printf("\n%s\n", ok ? "Figure 1 scenario reproduced." : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+#include "apps/http.hpp"
+
+#include "apps/ttcp.hpp"  // fnv1a
+
+namespace hydranet::apps {
+
+Bytes http_body_for(const std::string& path, std::size_t size) {
+  std::uint64_t seed = fnv1a(
+      BytesView(reinterpret_cast<const std::uint8_t*>(path.data()),
+                path.size()));
+  Bytes body(size);
+  std::uint64_t x = seed | 1;
+  for (std::size_t i = 0; i < size; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    body[i] = static_cast<std::uint8_t>(x >> 56);
+  }
+  return body;
+}
+
+HttpServer::HttpServer(host::Host& host, Config config)
+    : host_(host), config_(config) {
+  (void)host_.tcp().listen(
+      config_.listen_address, config_.port,
+      [this](std::shared_ptr<tcp::TcpConnection> connection) {
+        on_accept(std::move(connection));
+      },
+      config_.tcp);
+}
+
+void HttpServer::on_accept(std::shared_ptr<tcp::TcpConnection> connection) {
+  connections_accepted_++;
+  tcp::TcpConnection* raw = connection.get();
+  buffers_[raw] = {};
+  connection->set_on_readable([this, raw] {
+    auto it = buffers_.find(raw);
+    if (it != buffers_.end()) on_data(raw, it->second);
+  });
+  connection->set_on_closed([this, raw](Errc) { buffers_.erase(raw); });
+}
+
+void HttpServer::on_data(tcp::TcpConnection* connection, std::string& buffer) {
+  for (;;) {
+    auto data = connection->recv(16 * 1024);
+    if (!data) return;
+    if (data.value().empty()) {
+      connection->close();  // client finished
+      return;
+    }
+    buffer.append(data.value().begin(), data.value().end());
+    for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
+         nl = buffer.find('\n')) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.rfind("GET ", 0) == 0) {
+        std::string path = line.substr(4);
+        Bytes body = http_body_for(path, config_.default_body_size);
+        std::string header = "OK " + std::to_string(body.size()) + "\n";
+        (void)connection->send(BytesView(
+            reinterpret_cast<const std::uint8_t*>(header.data()),
+            header.size()));
+        (void)connection->send(body);
+        requests_served_++;
+      }
+    }
+  }
+}
+
+HttpClient::HttpClient(host::Host& host, Config config)
+    : host_(host), config_(config) {}
+
+Status HttpClient::start() {
+  auto result =
+      host_.tcp().connect(net::Ipv4Address(), config_.server, config_.tcp);
+  if (!result) return result.error();
+  connection_ = result.value();
+  connection_->set_on_established([this] { send_next(); });
+  connection_->set_on_readable([this] { on_readable(); });
+  connection_->set_on_closed([this](Errc reason) {
+    if (report_.responses < config_.paths.size() || reason != Errc::ok) {
+      report_.failed = true;
+    }
+    if (on_done_) on_done_();
+  });
+  return Status::success();
+}
+
+void HttpClient::send_next() {
+  if (next_request_ >= config_.paths.size()) {
+    report_.all_ok = !report_.failed;
+    connection_->close();
+    return;
+  }
+  std::string line = "GET " + config_.paths[next_request_] + "\n";
+  request_sent_at_ = host_.scheduler().now();
+  (void)connection_->send(BytesView(
+      reinterpret_cast<const std::uint8_t*>(line.data()), line.size()));
+}
+
+void HttpClient::on_readable() {
+  for (;;) {
+    auto data = connection_->recv(64 * 1024);
+    if (!data) return;
+    if (data.value().empty()) return;  // EOF handled by on_closed
+
+    if (reading_body_) {
+      body_so_far_.insert(body_so_far_.end(), data.value().begin(),
+                          data.value().end());
+    } else {
+      rx_buffer_.append(data.value().begin(), data.value().end());
+      std::size_t nl = rx_buffer_.find('\n');
+      if (nl == std::string::npos) continue;
+      std::string header = rx_buffer_.substr(0, nl);
+      std::string rest = rx_buffer_.substr(nl + 1);
+      rx_buffer_.clear();
+      if (header.rfind("OK ", 0) != 0) {
+        report_.failed = true;
+        connection_->abort();
+        return;
+      }
+      expected_body_ = static_cast<std::size_t>(std::stoul(header.substr(3)));
+      reading_body_ = true;
+      body_so_far_.assign(rest.begin(), rest.end());
+    }
+
+    if (reading_body_ && body_so_far_.size() >= expected_body_) {
+      // Verify the body against the deterministic generator.
+      Bytes expected =
+          http_body_for(config_.paths[next_request_], expected_body_);
+      Bytes got(body_so_far_.begin(),
+                body_so_far_.begin() + static_cast<std::ptrdiff_t>(expected_body_));
+      if (got != expected) report_.failed = true;
+      report_.responses++;
+      report_.body_bytes += expected_body_;
+      report_.latencies.push_back(host_.scheduler().now() - request_sent_at_);
+      // Any surplus belongs to the next header line.
+      rx_buffer_.assign(body_so_far_.begin() + static_cast<std::ptrdiff_t>(
+                                                   expected_body_),
+                        body_so_far_.end());
+      body_so_far_.clear();
+      reading_body_ = false;
+      next_request_++;
+      send_next();
+    }
+  }
+}
+
+}  // namespace hydranet::apps

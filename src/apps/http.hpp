@@ -1,0 +1,92 @@
+// A miniature HTTP-like request/response application.
+//
+// Protocol: requests are single lines "GET <path>\n"; the response is
+// "OK <n>\n" followed by n deterministic body bytes derived from the path.
+// Connections are keep-alive; the client closes when done.  This is the
+// "a_httpd replica" of the paper's Figure 2 and the workload of the
+// web-service example.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.hpp"
+#include "tcp/tcp_stack.hpp"
+
+namespace hydranet::apps {
+
+/// Deterministic body for a path (same on every replica).
+Bytes http_body_for(const std::string& path, std::size_t size);
+
+class HttpServer {
+ public:
+  struct Config {
+    net::Ipv4Address listen_address;  ///< service (virtual host) address
+    std::uint16_t port = 80;
+    std::size_t default_body_size = 4096;
+    tcp::TcpOptions tcp = {};
+  };
+
+  HttpServer(host::Host& host, Config config);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  void on_accept(std::shared_ptr<tcp::TcpConnection> connection);
+  void on_data(tcp::TcpConnection* connection, std::string& buffer);
+
+  host::Host& host_;
+  Config config_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t connections_accepted_ = 0;
+  // Per-connection line buffers, keyed by connection pointer (erased when
+  // the connection closes).
+  std::unordered_map<tcp::TcpConnection*, std::string> buffers_;
+};
+
+class HttpClient {
+ public:
+  struct Config {
+    net::Endpoint server;
+    std::vector<std::string> paths;  ///< requested sequentially
+    tcp::TcpOptions tcp = {};
+  };
+
+  struct Report {
+    std::size_t responses = 0;
+    std::size_t body_bytes = 0;
+    bool all_ok = false;       ///< every response arrived and verified
+    bool failed = false;
+    std::vector<sim::Duration> latencies;  ///< per request
+  };
+
+  HttpClient(host::Host& host, Config config);
+
+  Status start();
+  void set_on_done(std::function<void()> callback) {
+    on_done_ = std::move(callback);
+  }
+  const Report& report() const { return report_; }
+
+ private:
+  void send_next();
+  void on_readable();
+
+  host::Host& host_;
+  Config config_;
+  Report report_;
+  std::shared_ptr<tcp::TcpConnection> connection_;
+  std::function<void()> on_done_;
+  std::size_t next_request_ = 0;
+  sim::TimePoint request_sent_at_{};
+  std::string rx_buffer_;
+  std::size_t expected_body_ = 0;
+  bool reading_body_ = false;
+  Bytes body_so_far_;
+};
+
+}  // namespace hydranet::apps

@@ -1,0 +1,134 @@
+#include "apps/session.hpp"
+
+#include <cstdio>
+
+namespace hydranet::apps {
+
+namespace {
+BytesView as_bytes(const std::string& s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+}  // namespace
+
+BrokerageServer::BrokerageServer(host::Host& host, Config config)
+    : host_(host), config_(config) {
+  (void)host_.tcp().listen(
+      config_.listen_address, config_.port,
+      [this](std::shared_ptr<tcp::TcpConnection> connection) {
+        on_accept(std::move(connection));
+      },
+      config_.tcp);
+}
+
+void BrokerageServer::on_accept(
+    std::shared_ptr<tcp::TcpConnection> connection) {
+  tcp::TcpConnection* raw = connection.get();
+  sessions_[raw] = {};
+  connection->set_on_closed([this, raw](Errc) { sessions_.erase(raw); });
+  connection->set_on_readable([this, raw] {
+    auto it = sessions_.find(raw);
+    if (it == sessions_.end()) return;
+    Session& session = it->second;
+    for (;;) {
+      auto data = raw->recv(16 * 1024);
+      if (!data) return;
+      if (data.value().empty()) {
+        raw->close();
+        return;
+      }
+      session.buffer.append(data.value().begin(), data.value().end());
+      for (std::size_t nl = session.buffer.find('\n');
+           nl != std::string::npos; nl = session.buffer.find('\n')) {
+        std::string line = session.buffer.substr(0, nl);
+        session.buffer.erase(0, nl + 1);
+        long long qty = 0;
+        if (std::sscanf(line.c_str(), "ORDER %lld", &qty) == 1) {
+          session.sequence++;
+          session.position += qty;
+          orders_executed_++;
+          char reply[64];
+          std::snprintf(reply, sizeof reply, "EXEC %lld %lld\n",
+                        static_cast<long long>(session.sequence),
+                        static_cast<long long>(session.position));
+          (void)raw->send(as_bytes(reply));
+        }
+      }
+    }
+  });
+}
+
+BrokerageClient::BrokerageClient(host::Host& host, Config config)
+    : host_(host), config_(config) {}
+
+Status BrokerageClient::start() {
+  auto result =
+      host_.tcp().connect(net::Ipv4Address(), config_.server, config_.tcp);
+  if (!result) return result.error();
+  connection_ = result.value();
+  connection_->set_on_established([this] { send_next(); });
+  connection_->set_on_readable([this] { on_readable(); });
+  connection_->set_on_closed([this](Errc reason) {
+    report_.close_reason = reason;
+    if (report_.executions < config_.orders.size() || reason != Errc::ok) {
+      report_.failed = true;
+    }
+    if (!report_.done) {
+      report_.done = true;
+      if (on_done_) on_done_();
+    }
+  });
+  return Status::success();
+}
+
+void BrokerageClient::send_next() {
+  if (next_order_ >= config_.orders.size()) {
+    connection_->close();
+    return;
+  }
+  char line[48];
+  std::snprintf(line, sizeof line, "ORDER %lld\n",
+                static_cast<long long>(config_.orders[next_order_]));
+  (void)connection_->send(as_bytes(line));
+}
+
+void BrokerageClient::on_readable() {
+  for (;;) {
+    auto data = connection_->recv(16 * 1024);
+    if (!data) return;
+    if (data.value().empty()) return;
+    rx_buffer_.append(data.value().begin(), data.value().end());
+    for (std::size_t nl = rx_buffer_.find('\n'); nl != std::string::npos;
+         nl = rx_buffer_.find('\n')) {
+      std::string line = rx_buffer_.substr(0, nl);
+      rx_buffer_.erase(0, nl + 1);
+      long long seq = 0, position = 0;
+      if (std::sscanf(line.c_str(), "EXEC %lld %lld", &seq, &position) != 2) {
+        report_.consistent = false;
+        continue;
+      }
+      if (next_order_ >= config_.orders.size()) {
+        report_.consistent = false;  // more EXECs than orders placed
+        continue;
+      }
+      expected_position_ += config_.orders[next_order_];
+      std::int64_t expected_seq =
+          static_cast<std::int64_t>(next_order_) + 1;
+      if (seq != expected_seq || position != expected_position_) {
+        report_.consistent = false;
+      }
+      report_.executions++;
+      report_.final_sequence = seq;
+      report_.final_position = position;
+      next_order_++;
+      if (next_order_ >= config_.orders.size()) {
+        connection_->close();
+        return;
+      }
+      // Think, then place the next order.
+      host_.scheduler().schedule_after(config_.think_time,
+                                       [this] { send_next(); });
+    }
+  }
+}
+
+}  // namespace hydranet::apps

@@ -1,0 +1,93 @@
+// Stateful transaction sessions (the paper's §6 motivation: e-commerce /
+// brokerage servers that keep per-session state, where plain request
+// redirection cannot recover from a failure mid-session).
+//
+// Protocol: client sends lines "ORDER <qty>\n"; the server replies
+// "EXEC <seq> <position>\n" where <seq> counts this session's orders and
+// <position> is the running sum — both are session state.  Because every
+// replica deposits the same byte stream in the same order, the state is
+// identical at every replica, and a fail-over continues the session with
+// correct <seq>/<position>.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.hpp"
+#include "tcp/tcp_stack.hpp"
+
+namespace hydranet::apps {
+
+class BrokerageServer {
+ public:
+  struct Config {
+    net::Ipv4Address listen_address;
+    std::uint16_t port = 9100;
+    tcp::TcpOptions tcp = {};
+  };
+
+  BrokerageServer(host::Host& host, Config config);
+
+  std::uint64_t orders_executed() const { return orders_executed_; }
+
+ private:
+  struct Session {
+    std::string buffer;
+    std::int64_t sequence = 0;
+    std::int64_t position = 0;
+  };
+
+  void on_accept(std::shared_ptr<tcp::TcpConnection> connection);
+
+  host::Host& host_;
+  Config config_;
+  std::uint64_t orders_executed_ = 0;
+  std::unordered_map<tcp::TcpConnection*, Session> sessions_;
+};
+
+class BrokerageClient {
+ public:
+  struct Config {
+    net::Endpoint server;
+    std::vector<std::int64_t> orders;  ///< quantities, sent sequentially
+    /// Pause between orders (lets fail-overs land mid-session in tests).
+    sim::Duration think_time = sim::milliseconds(20);
+    tcp::TcpOptions tcp = {};
+  };
+
+  struct Report {
+    std::size_t executions = 0;
+    std::int64_t final_position = 0;
+    std::int64_t final_sequence = 0;
+    bool consistent = true;  ///< every EXEC matched the expected state
+    bool done = false;
+    bool failed = false;
+    Errc close_reason = Errc::ok;
+  };
+
+  BrokerageClient(host::Host& host, Config config);
+
+  Status start();
+  void set_on_done(std::function<void()> callback) {
+    on_done_ = std::move(callback);
+  }
+  const Report& report() const { return report_; }
+
+ private:
+  void send_next();
+  void on_readable();
+
+  host::Host& host_;
+  Config config_;
+  Report report_;
+  std::shared_ptr<tcp::TcpConnection> connection_;
+  std::function<void()> on_done_;
+  std::size_t next_order_ = 0;
+  std::int64_t expected_position_ = 0;
+  std::string rx_buffer_;
+};
+
+}  // namespace hydranet::apps

@@ -1,0 +1,98 @@
+#include "apps/stream.hpp"
+
+#include "apps/ttcp.hpp"
+
+namespace hydranet::apps {
+
+StreamingSource::StreamingSource(host::Host& host, Config config)
+    : host_(host), config_(config) {
+  (void)host_.tcp().listen(
+      config_.listen_address, config_.port,
+      [this](std::shared_ptr<tcp::TcpConnection> connection) {
+        on_accept(std::move(connection));
+      },
+      config_.tcp);
+}
+
+StreamingSource::~StreamingSource() {
+  for (auto& session : sessions_) {
+    host_.scheduler().cancel(session->timer);
+  }
+}
+
+void StreamingSource::on_accept(
+    std::shared_ptr<tcp::TcpConnection> connection) {
+  auto session = std::make_unique<Session>();
+  session->connection = std::move(connection);
+  sessions_.push_back(std::move(session));
+  std::size_t index = sessions_.size() - 1;
+  tick(index);
+}
+
+void StreamingSource::tick(std::size_t index) {
+  Session& session = *sessions_[index];
+  if (session.done) return;
+  session.timer = sim::kInvalidTimer;
+
+  if (session.connection->state() == tcp::TcpState::closed) {
+    session.done = true;
+    return;
+  }
+
+  while (session.written < config_.total_bytes) {
+    std::size_t n =
+        std::min(config_.chunk_size, config_.total_bytes - session.written);
+    Bytes chunk = ttcp_pattern(n, session.written);
+    auto written = session.connection->send(chunk);
+    if (!written) break;  // buffer full: try again next tick
+    session.written += written.value();
+    break;  // one chunk per tick: fixed-rate media
+  }
+
+  if (session.written >= config_.total_bytes) {
+    session.connection->close();
+    session.done = true;
+    return;
+  }
+  session.timer = host_.scheduler().schedule_after(config_.interval,
+                                                   [this, index] { tick(index); });
+}
+
+StreamingSink::StreamingSink(host::Host& host, Config config)
+    : host_(host), config_(config) {}
+
+Status StreamingSink::start() {
+  auto result =
+      host_.tcp().connect(net::Ipv4Address(), config_.server, config_.tcp);
+  if (!result) return result.error();
+  connection_ = result.value();
+  connection_->set_on_readable([this] {
+    for (;;) {
+      auto data = connection_->recv(64 * 1024);
+      if (!data) return;
+      if (data.value().empty()) {
+        report_.eof = true;
+        connection_->close();
+        if (on_done_) on_done_();
+        return;
+      }
+      sim::TimePoint now = host_.scheduler().now();
+      if (saw_data_) {
+        sim::Duration gap = now - last_arrival_;
+        if (gap > report_.max_gap) report_.max_gap = gap;
+        if (gap > config_.stall_threshold) report_.stalls.push_back(gap);
+      }
+      saw_data_ = true;
+      last_arrival_ = now;
+      report_.checksum = fnv1a(data.value(), report_.checksum);
+      report_.bytes += data.value().size();
+    }
+  });
+  connection_->set_on_closed([this](Errc reason) {
+    if (!report_.eof && reason != Errc::ok) report_.failed = true;
+    if (on_done_ && !report_.eof) on_done_();
+  });
+  return Status::success();
+}
+
+}  // namespace hydranet::apps

@@ -1,0 +1,88 @@
+// Media-streaming workload (the paper's §1 motivation: live broadcasts and
+// long-lived sessions where servers keep state and interruptions matter).
+//
+// The source pushes data at a fixed rate; the sink records inter-arrival
+// gaps, so the client-visible stall caused by a fail-over is measurable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/host.hpp"
+#include "tcp/tcp_stack.hpp"
+
+namespace hydranet::apps {
+
+/// Server side: accepts connections on the service endpoint and pushes
+/// `chunk_size` bytes every `interval` until `total_bytes` are written.
+class StreamingSource {
+ public:
+  struct Config {
+    net::Ipv4Address listen_address;
+    std::uint16_t port = 8000;
+    std::size_t chunk_size = 1400;
+    sim::Duration interval = sim::milliseconds(10);
+    std::size_t total_bytes = 1 << 20;
+    tcp::TcpOptions tcp = {};
+  };
+
+  StreamingSource(host::Host& host, Config config);
+  ~StreamingSource();
+
+  std::uint64_t connections() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::shared_ptr<tcp::TcpConnection> connection;
+    std::size_t written = 0;
+    sim::TimerId timer = sim::kInvalidTimer;
+    bool done = false;
+  };
+
+  void on_accept(std::shared_ptr<tcp::TcpConnection> connection);
+  void tick(std::size_t index);
+
+  host::Host& host_;
+  Config config_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+/// Client side: connects, consumes the stream, and records stalls.
+class StreamingSink {
+ public:
+  struct Config {
+    net::Endpoint server;
+    /// Inter-arrival gaps above this count as stalls.
+    sim::Duration stall_threshold = sim::milliseconds(100);
+    tcp::TcpOptions tcp = {};
+  };
+
+  struct Report {
+    std::size_t bytes = 0;
+    bool eof = false;
+    bool failed = false;
+    std::uint64_t checksum = 14695981039346656037ull;
+    sim::Duration max_gap{};
+    std::vector<sim::Duration> stalls;
+  };
+
+  StreamingSink(host::Host& host, Config config);
+
+  Status start();
+  void set_on_done(std::function<void()> callback) {
+    on_done_ = std::move(callback);
+  }
+  const Report& report() const { return report_; }
+
+ private:
+  host::Host& host_;
+  Config config_;
+  Report report_;
+  std::shared_ptr<tcp::TcpConnection> connection_;
+  std::function<void()> on_done_;
+  sim::TimePoint last_arrival_{};
+  bool saw_data_ = false;
+};
+
+}  // namespace hydranet::apps

@@ -1,0 +1,129 @@
+#include "apps/ttcp.hpp"
+
+namespace hydranet::apps {
+
+tcp::TcpOptions period_tcp_options() {
+  tcp::TcpOptions options;
+  options.nodelay = true;
+  options.packetize_writes = true;
+  options.min_rto = sim::seconds(1);
+  options.send_buffer_capacity = 16 * 1024;
+  options.recv_buffer_capacity = 16 * 1024;
+  return options;
+}
+
+std::uint64_t fnv1a(BytesView data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Bytes ttcp_pattern(std::size_t size, std::size_t stream_offset) {
+  Bytes out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>((stream_offset + i) * 131 + 7);
+  }
+  return out;
+}
+
+TtcpTransmitter::TtcpTransmitter(host::Host& client, Config config)
+    : client_(client), config_(config) {}
+
+Status TtcpTransmitter::start() {
+  auto result =
+      client_.tcp().connect(net::Ipv4Address(), config_.server, config_.tcp);
+  if (!result) return result.error();
+  connection_ = result.value();
+  report_.started_at = client_.scheduler().now();
+
+  connection_->set_on_established([this] {
+    report_.connected = true;
+    pump();
+  });
+  connection_->set_on_writable([this] { pump(); });
+  connection_->set_on_closed([this](Errc reason) {
+    if (report_.bytes_written >= config_.total_bytes && reason == Errc::ok) {
+      if (!report_.finished) {
+        report_.finished = true;
+        report_.finished_at = client_.scheduler().now();
+        if (on_finished_) on_finished_();
+      }
+    } else {
+      report_.failed = true;
+      if (on_finished_) on_finished_();
+    }
+  });
+  return Status::success();
+}
+
+void TtcpTransmitter::pump() {
+  if (!connection_ || report_.bytes_written >= config_.total_bytes) return;
+  while (report_.bytes_written < config_.total_bytes) {
+    std::size_t n =
+        std::min(config_.write_size, config_.total_bytes - report_.bytes_written);
+    Bytes chunk = ttcp_pattern(n, report_.bytes_written);
+    auto written = connection_->send(chunk);
+    if (!written) break;  // buffer full: resume on writable
+    report_.bytes_written += written.value();
+    if (written.value() < n) break;
+  }
+  if (report_.bytes_written >= config_.total_bytes) {
+    connection_->close();  // FIN after the stream drains
+  }
+}
+
+TtcpReceiver::TtcpReceiver(host::Host& server, net::Ipv4Address listen_address,
+                           std::uint16_t port, tcp::TcpOptions options)
+    : server_(server) {
+  auto listener = server_.tcp().listen(
+      listen_address, port,
+      [this](std::shared_ptr<tcp::TcpConnection> connection) {
+        on_accept(std::move(connection));
+      },
+      options);
+  (void)listener;
+}
+
+void TtcpReceiver::on_accept(std::shared_ptr<tcp::TcpConnection> connection) {
+  reports_.emplace_back();
+  std::size_t index = reports_.size() - 1;
+  auto conn = connection.get();
+  connection->set_on_readable([this, conn, index] {
+    ConnectionReport& report = reports_[index];
+    for (;;) {
+      auto data = conn->recv(64 * 1024);
+      if (!data) break;
+      if (data.value().empty()) {
+        if (!report.eof && report.bytes_received > 0) {
+          report.eof = true;
+          report.eof_at = server_.scheduler().now();
+          conn->close();
+        }
+        break;
+      }
+      if (report.bytes_received == 0) {
+        report.first_byte_at = server_.scheduler().now();
+      }
+      report.checksum = fnv1a(data.value(), report.checksum);
+      report.bytes_received += data.value().size();
+    }
+  });
+}
+
+std::size_t TtcpReceiver::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& report : reports_) total += report.bytes_received;
+  return total;
+}
+
+bool TtcpReceiver::any_eof() const {
+  for (const auto& report : reports_) {
+    if (report.eof) return true;
+  }
+  return false;
+}
+
+}  // namespace hydranet::apps

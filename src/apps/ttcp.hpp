@@ -1,0 +1,109 @@
+// ttcp-equivalent workload: the measurement tool of the paper's §5.
+//
+// The transmitter writes `total_bytes` to the service in fixed-size
+// application writes; with nodelay + packetize_writes each write becomes
+// exactly one wire segment, so "packet size" on the figure's x-axis equals
+// the write size here.  The receiver accepts connections, drains bytes,
+// and reports the sustained throughput between its first byte and EOF.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/host.hpp"
+#include "tcp/tcp_stack.hpp"
+
+namespace hydranet::apps {
+
+/// TCP tuning matching the paper's late-1990s BSD testbed:
+///   * 16 KB socket buffers (the FreeBSD default of the era) — this bounds
+///     the data in flight, and with it the queueing at the slow 486
+///     redirector; modern 64 KB windows push the redirector backlog past
+///     the RTO and make healthy chains look failed;
+///   * ~1 s minimum RTO (the BSD slow-timer floor) — the paper's own
+///     analysis blames "lengthy timeouts" for most of the FT loss;
+///   * sender-side batching of small segments disabled, each application
+///     write one wire segment (how §5 defines "packet size").
+tcp::TcpOptions period_tcp_options();
+
+class TtcpTransmitter {
+ public:
+  struct Config {
+    net::Endpoint server;
+    std::size_t write_size = 1024;
+    std::size_t total_bytes = 1 << 20;
+    tcp::TcpOptions tcp = period_tcp_options();
+  };
+
+  struct Report {
+    std::size_t bytes_written = 0;
+    bool connected = false;
+    bool finished = false;   ///< all bytes written, sent, and acknowledged
+    bool failed = false;
+    sim::TimePoint started_at{};
+    sim::TimePoint finished_at{};
+  };
+
+  TtcpTransmitter(host::Host& client, Config config);
+
+  /// Opens the connection and starts pumping.
+  Status start();
+  void set_on_finished(std::function<void()> callback) {
+    on_finished_ = std::move(callback);
+  }
+
+  const Report& report() const { return report_; }
+  std::shared_ptr<tcp::TcpConnection> connection() { return connection_; }
+
+ private:
+  void pump();
+
+  host::Host& client_;
+  Config config_;
+  Report report_;
+  std::shared_ptr<tcp::TcpConnection> connection_;
+  Bytes pattern_;
+  std::function<void()> on_finished_;
+};
+
+class TtcpReceiver {
+ public:
+  struct ConnectionReport {
+    std::size_t bytes_received = 0;
+    std::uint64_t checksum = 14695981039346656037ull;  ///< FNV-1a of stream
+    sim::TimePoint first_byte_at{};
+    sim::TimePoint eof_at{};
+    bool eof = false;
+
+    /// Receiver-side sustained throughput in kB/s (the paper's metric).
+    double throughput_kBps() const {
+      double elapsed = (eof_at - first_byte_at).seconds();
+      return elapsed > 0 ? static_cast<double>(bytes_received) / 1000.0 / elapsed
+                         : 0.0;
+    }
+  };
+
+  TtcpReceiver(host::Host& server, net::Ipv4Address listen_address,
+               std::uint16_t port,
+               tcp::TcpOptions options = period_tcp_options());
+
+  const std::vector<ConnectionReport>& reports() const { return reports_; }
+  std::size_t total_bytes() const;
+  bool any_eof() const;
+
+ private:
+  void on_accept(std::shared_ptr<tcp::TcpConnection> connection);
+
+  host::Host& server_;
+  std::vector<ConnectionReport> reports_;
+};
+
+/// FNV-1a over a byte range — used to compare transmitted and received
+/// streams exactly in tests.
+std::uint64_t fnv1a(BytesView data, std::uint64_t seed = 14695981039346656037ull);
+
+/// The deterministic byte pattern ttcp sends (position-dependent).
+Bytes ttcp_pattern(std::size_t size, std::size_t stream_offset);
+
+}  // namespace hydranet::apps

@@ -1,0 +1,95 @@
+// Byte-order-aware buffer reader/writer used by every wire format.
+//
+// All HydraNet-FT headers are serialised in network byte order (big endian)
+// regardless of host endianness, exactly as the real protocols require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hydranet {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends big-endian scalar fields and raw bytes to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void raw(BytesView data) { out_.insert(out_.end(), data.begin(), data.end()); }
+  void raw(const std::string& s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed (u16) string, for management-protocol payloads.
+  void str16(const std::string& s);
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Consumes big-endian scalar fields from a fixed buffer.
+///
+/// Reads past the end do not throw; they set a sticky `truncated()` flag and
+/// return zeros, so parsers can decode a whole header and check validity
+/// once at the end (malformed packets are data, not bugs).
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Copies `n` bytes out; yields an empty vector (and truncates) on overrun.
+  Bytes raw(std::size_t n);
+  /// Reads a u16 length prefix then that many bytes as a string.
+  std::string str16();
+  /// Skips `n` bytes.
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool truncated() const { return truncated_; }
+
+  /// View of the unread tail (does not consume).
+  BytesView rest() const { return data_.subspan(pos_); }
+
+ private:
+  bool ensure(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+/// RFC 1071 Internet checksum over `data` (used by IPv4/UDP/TCP).
+std::uint16_t internet_checksum(BytesView data, std::uint32_t initial = 0);
+
+/// Partial sum for building pseudo-header checksums incrementally.
+std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc);
+
+/// Folds a 32-bit accumulator into the final 16-bit one's-complement sum.
+std::uint16_t checksum_finish(std::uint32_t acc);
+
+}  // namespace hydranet

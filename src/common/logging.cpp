@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace hydranet {
+namespace log_detail {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::warn;
+  return level;
+}
+
+std::function<std::int64_t()>& clock_source() {
+  static std::function<std::int64_t()> clock;
+  return clock;
+}
+
+void emit(LogLevel level, const std::string& component, const std::string& msg) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  const char* name =
+      level <= LogLevel::error ? names[static_cast<int>(level)] : "?";
+  std::int64_t now_ns = clock_source() ? clock_source()() : 0;
+  // One line per record: "<sim seconds> LEVEL [component] message".
+  std::fprintf(stderr, "%12.6f %-5s [%s] %s\n",
+               static_cast<double>(now_ns) / 1e9, name, component.c_str(),
+               msg.c_str());
+}
+
+}  // namespace log_detail
+
+void set_log_level(LogLevel level) { log_detail::threshold() = level; }
+LogLevel log_level() { return log_detail::threshold(); }
+
+void set_log_clock(std::function<std::int64_t()> clock) {
+  log_detail::clock_source() = std::move(clock);
+}
+
+}  // namespace hydranet

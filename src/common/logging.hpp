@@ -1,0 +1,65 @@
+// Lightweight leveled logging with a pluggable simulation-time source.
+//
+// The simulator installs a clock callback so that every log line is stamped
+// with virtual time, which is what matters when debugging protocol traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hydranet {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+namespace log_detail {
+
+LogLevel& threshold();
+std::function<std::int64_t()>& clock_source();
+void emit(LogLevel level, const std::string& component, const std::string& msg);
+
+}  // namespace log_detail
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Installs the virtual-clock source used to stamp log lines (ns).
+void set_log_clock(std::function<std::int64_t()> clock);
+
+/// Logs `msg` for `component` at `level`, if enabled.
+inline void log(LogLevel level, const std::string& component,
+                const std::string& msg) {
+  if (level < log_detail::threshold()) return;
+  log_detail::emit(level, component, msg);
+}
+
+/// Streaming log statement: HLOG(info, "tcp") << "state " << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)),
+        enabled_(level >= log_detail::threshold()) {}
+  ~LogLine() {
+    if (enabled_) log_detail::emit(level_, component_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+#define HLOG(level, component) ::hydranet::LogLine(::hydranet::LogLevel::level, (component))
+
+}  // namespace hydranet

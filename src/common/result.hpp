@@ -1,0 +1,106 @@
+// Minimal expected-like result type used across the HydraNet-FT libraries.
+//
+// Network operations routinely fail for reasons that are part of normal
+// operation (port in use, connection reset, buffer full).  Those are not
+// programming errors, so they are reported as values rather than exceptions;
+// exceptions remain reserved for precondition violations and resource
+// exhaustion.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hydranet {
+
+/// Error code vocabulary shared by every layer of the stack.
+enum class Errc {
+  ok = 0,
+  would_block,       ///< operation cannot complete now (non-blocking socket)
+  address_in_use,    ///< bind: port already taken
+  connection_refused,///< RST received in SYN_SENT / no listener
+  connection_reset,  ///< RST received on an established connection
+  not_connected,     ///< send/recv on a socket with no peer
+  already_connected, ///< connect on a connected socket
+  timed_out,         ///< retransmission limit exceeded
+  closed,            ///< operation on a closed socket / EOF reached
+  no_route,          ///< no route to destination
+  message_too_big,   ///< datagram exceeds what the layer can carry
+  invalid_argument,  ///< malformed input that is data, not a bug
+  not_found,         ///< lookup miss (routing/redirection/service tables)
+  protocol_error,    ///< peer violated the protocol
+};
+
+/// Human-readable name for an error code (stable, for logs and tests).
+constexpr const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::would_block: return "would_block";
+    case Errc::address_in_use: return "address_in_use";
+    case Errc::connection_refused: return "connection_refused";
+    case Errc::connection_reset: return "connection_reset";
+    case Errc::not_connected: return "not_connected";
+    case Errc::already_connected: return "already_connected";
+    case Errc::timed_out: return "timed_out";
+    case Errc::closed: return "closed";
+    case Errc::no_route: return "no_route";
+    case Errc::message_too_big: return "message_too_big";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::protocol_error: return "protocol_error";
+  }
+  return "unknown";
+}
+
+/// Result of an operation yielding a T on success or an Errc on failure.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errc error) : state_(error) { assert(error != Errc::ok); }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::ok : std::get<Errc>(state_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// Value on success, `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errc> state_;
+};
+
+/// Result specialisation for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() : error_(Errc::ok) {}
+  Status(Errc error) : error_(error) {}  // NOLINT: implicit by design
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return error_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return error_; }
+
+ private:
+  Errc error_;
+};
+
+}  // namespace hydranet

@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic element (loss models, jitter, workload generators) draws
+// from an explicitly seeded generator so that any run — including any test
+// failure — is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace hydranet {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator for simulation draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace hydranet

@@ -1,0 +1,80 @@
+#include "ftcp/ack_channel.hpp"
+
+#include "common/logging.hpp"
+
+namespace hydranet::ftcp {
+
+Bytes AckChannelMessage::serialize() const {
+  Bytes out;
+  out.reserve(26);
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u32(service.address.value());
+  w.u16(service.port);
+  w.u32(client.address.value());
+  w.u16(client.port);
+  w.u32(snd_nxt);
+  w.u32(rcv_nxt);
+  w.u8(passthrough ? 1 : 0);
+  return out;
+}
+
+Result<AckChannelMessage> AckChannelMessage::parse(BytesView wire) {
+  ByteReader r(wire);
+  if (r.u32() != kMagic) return Errc::protocol_error;
+  AckChannelMessage m;
+  m.service.address = net::Ipv4Address(r.u32());
+  m.service.port = r.u16();
+  m.client.address = net::Ipv4Address(r.u32());
+  m.client.port = r.u16();
+  m.snd_nxt = r.u32();
+  m.rcv_nxt = r.u32();
+  m.passthrough = r.u8() != 0;
+  if (r.truncated()) return Errc::invalid_argument;
+  return m;
+}
+
+AckChannel::AckChannel(host::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  auto socket = host_.udp().bind(net::Ipv4Address(), port_);
+  if (!socket) {
+    HLOG(error, "ftcp") << "ack channel bind failed on " << host_.name();
+    return;
+  }
+  socket_ = socket.value();
+  socket_->set_rx_handler([this](const net::Endpoint& from, Bytes data) {
+    on_datagram(from, std::move(data));
+  });
+}
+
+AckChannel::~AckChannel() {
+  if (socket_ != nullptr) socket_->close();
+}
+
+Status AckChannel::send(net::Ipv4Address to_host,
+                        const AckChannelMessage& message) {
+  if (socket_ == nullptr) return Errc::closed;
+  sent_++;
+  return socket_->send_to(net::Endpoint{to_host, port_},
+                          message.serialize());
+}
+
+void AckChannel::register_service(const net::Endpoint& service,
+                                  Handler handler) {
+  handlers_[service] = std::move(handler);
+}
+
+void AckChannel::unregister_service(const net::Endpoint& service) {
+  handlers_.erase(service);
+}
+
+void AckChannel::on_datagram(const net::Endpoint& from, Bytes data) {
+  auto parsed = AckChannelMessage::parse(data);
+  if (!parsed) return;
+  received_++;
+  auto it = handlers_.find(parsed.value().service);
+  if (it == handlers_.end()) return;
+  it->second(from, parsed.value());
+}
+
+}  // namespace hydranet::ftcp

@@ -1,0 +1,73 @@
+// The acknowledgement channel (§4.3): a one-way, kernel-to-kernel UDP
+// channel along which each backup passes the two flow-control fields of
+// every packet it would have sent — the SEQUENCE NUMBER and the
+// ACKNOWLEDGEMENT NUMBER — to the server ahead of it in the daisy chain.
+//
+// One AckChannel endpoint per host multiplexes all replicated services on
+// that host; messages name the service and the client connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "host/host.hpp"
+#include "net/address.hpp"
+
+namespace hydranet::ftcp {
+
+struct AckChannelMessage {
+  static constexpr std::uint32_t kMagic = 0x46544350;  // "FTCP"
+
+  net::Endpoint service;  ///< virtual-host address + replicated port
+  net::Endpoint client;   ///< the client side of the connection
+  std::uint32_t snd_nxt = 0;  ///< SEQUENCE NUMBER: next byte sender would send
+  std::uint32_t rcv_nxt = 0;  ///< ACKNOWLEDGEMENT NUMBER: next byte expected
+  /// Pass-through: the sender does not track this connection (e.g. a
+  /// re-commissioned backup) and imposes no gate on its predecessor.
+  bool passthrough = false;
+
+  Bytes serialize() const;
+  static Result<AckChannelMessage> parse(BytesView wire);
+};
+
+class AckChannel {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 5999;
+
+  using Handler = std::function<void(const net::Endpoint& from,
+                                     const AckChannelMessage& message)>;
+
+  explicit AckChannel(host::Host& host,
+                      std::uint16_t port = kDefaultPort);
+  ~AckChannel();
+
+  AckChannel(const AckChannel&) = delete;
+  AckChannel& operator=(const AckChannel&) = delete;
+
+  /// Sends `message` to the channel endpoint on `to_host` (unreliable, as
+  /// in the paper: losses are recovered by client retransmissions).
+  Status send(net::Ipv4Address to_host, const AckChannelMessage& message);
+
+  /// Routes incoming messages for `service` to `handler`.
+  void register_service(const net::Endpoint& service, Handler handler);
+  void unregister_service(const net::Endpoint& service);
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_received() const { return received_; }
+
+ private:
+  void on_datagram(const net::Endpoint& from, Bytes data);
+
+  host::Host& host_;
+  std::uint16_t port_;
+  udp::UdpSocket* socket_ = nullptr;
+  std::unordered_map<net::Endpoint, Handler> handlers_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace hydranet::ftcp

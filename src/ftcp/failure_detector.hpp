@@ -1,0 +1,59 @@
+// The low-latency failure estimator (§4.3): servers monitor client
+// retransmissions.  A retransmission with no receive progress in between
+// means the flow-control loop is broken somewhere in the replica group;
+// after a configurable number of them the replica raises a failure signal.
+//
+// The threshold trades detection latency against false positives, and must
+// sit above TCP's own fast-retransmit trigger (a triple duplicate ACK) so
+// the estimator does not fire on ordinary congestion recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hydranet::ftcp {
+
+/// The paper's detector-parameters argument of setportopt().
+struct DetectorParams {
+  /// Client retransmissions (without progress) before signalling failure.
+  int retransmission_threshold = 6;
+  /// Minimum spacing between successive signals for one connection, so a
+  /// reconfiguration in progress is not re-triggered.
+  sim::Duration cooldown = sim::seconds(2);
+};
+
+class RetransmissionDetector {
+ public:
+  explicit RetransmissionDetector(DetectorParams params) : params_(params) {}
+
+  /// Records one observed client retransmission; `rcv_nxt` is the
+  /// connection's current receive cursor (progress resets the count).
+  /// Returns true when the failure threshold is crossed.
+  bool observe(std::uint32_t rcv_nxt, sim::TimePoint now) {
+    if (has_progress_marker_ && rcv_nxt != progress_marker_) {
+      count_ = 0;  // the stream moved: those retransmissions resolved
+    }
+    progress_marker_ = rcv_nxt;
+    has_progress_marker_ = true;
+    count_++;
+    if (count_ < params_.retransmission_threshold) return false;
+    if (fired_once_ && now - last_fired_ < params_.cooldown) return false;
+    fired_once_ = true;
+    last_fired_ = now;
+    count_ = 0;
+    return true;
+  }
+
+  int count() const { return count_; }
+
+ private:
+  DetectorParams params_;
+  int count_ = 0;
+  std::uint32_t progress_marker_ = 0;
+  bool has_progress_marker_ = false;
+  bool fired_once_ = false;
+  sim::TimePoint last_fired_{};
+};
+
+}  // namespace hydranet::ftcp

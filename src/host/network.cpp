@@ -1,0 +1,71 @@
+#include "host/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace hydranet::host {
+
+Host::Host(sim::Scheduler& scheduler, std::string name, std::uint64_t seed)
+    : scheduler_(scheduler),
+      name_(std::move(name)),
+      ip_(scheduler, name_),
+      udp_(ip_),
+      tcp_(ip_, seed),
+      icmp_(ip_) {
+  // Datagrams to dead UDP ports earn an ICMP port-unreachable.
+  udp_.set_unbound_handler(
+      [this](const net::Ipv4Header& header, const Bytes& payload) {
+        net::Datagram offending;
+        offending.header = header;
+        offending.payload = payload;
+        icmp_.send_unreachable(offending,
+                               icmp::UnreachableCode::port_unreachable);
+      });
+}
+
+Network::Network(std::uint64_t seed)
+    : seed_(seed), next_host_seed_(seed * 7919 + 1) {
+  // Stamp log lines with this network's virtual clock.
+  set_log_clock([this] { return scheduler_.now().ns; });
+}
+
+Network::~Network() {
+  set_log_clock(nullptr);
+  // Hosts carry timers referencing the scheduler; drop them before the
+  // scheduler (a member declared first, destroyed last) goes away.
+  hosts_.clear();
+  links_.clear();
+}
+
+Host& Network::add_host(const std::string& name) {
+  assert(!hosts_.contains(name));
+  auto host = std::make_unique<Host>(scheduler_, name, next_host_seed_);
+  next_host_seed_ = next_host_seed_ * 6364136223846793005ull + 1442695040888963407ull;
+  Host& ref = *host;
+  hosts_.emplace(name, std::move(host));
+  return ref;
+}
+
+Host& Network::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) {
+    throw std::out_of_range("no such host: " + name);
+  }
+  return *it->second;
+}
+
+link::Link& Network::connect(Host& a, net::Ipv4Address address_a, Host& b,
+                             net::Ipv4Address address_b, int prefix_len,
+                             link::Link::Config config, std::size_t mtu) {
+  if (config.seed == 1) config.seed = next_host_seed_ ^ 0x9e3779b9;
+  auto link = std::make_unique<link::Link>(scheduler_, config);
+  auto& iface_a = a.add_interface("to_" + b.name(), address_a, prefix_len, mtu);
+  auto& iface_b = b.add_interface("to_" + a.name(), address_b, prefix_len, mtu);
+  link->attach(iface_a, iface_b);
+  links_.push_back(std::move(link));
+  return *links_.back();
+}
+
+}  // namespace hydranet::host

@@ -1,0 +1,54 @@
+// Topology builder: owns the scheduler, the hosts, and the links, and
+// offers the small amount of plumbing every test, bench and example needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.hpp"
+#include "link/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydranet::host {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 42);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+  /// Creates a host; names must be unique.
+  Host& add_host(const std::string& name);
+  Host& host(const std::string& name);
+
+  /// Connects `a` and `b` with a new point-to-point link; creates one
+  /// interface on each side with the given addresses (prefix_len applies
+  /// to both).
+  link::Link& connect(Host& a, net::Ipv4Address address_a, Host& b,
+                      net::Ipv4Address address_b, int prefix_len = 30,
+                      link::Link::Config config = {},
+                      std::size_t mtu = 1500);
+
+  /// Runs the simulation for `d` of virtual time.
+  std::size_t run_for(sim::Duration d) { return scheduler_.run_for(d); }
+  /// Runs until the event queue drains (bounded by `max_events`).
+  std::size_t run(std::size_t max_events = 50'000'000) {
+    return scheduler_.run(max_events);
+  }
+  sim::TimePoint now() const { return scheduler_.now(); }
+
+ private:
+  sim::Scheduler scheduler_;
+  std::uint64_t seed_;
+  std::uint64_t next_host_seed_;
+  std::unordered_map<std::string, std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<link::Link>> links_;
+};
+
+}  // namespace hydranet::host

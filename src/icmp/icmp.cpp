@@ -1,0 +1,260 @@
+#include "icmp/icmp.hpp"
+
+namespace hydranet::icmp {
+
+Bytes IcmpMessage::serialize() const {
+  Bytes wire;
+  wire.reserve(8 + body.size());
+  ByteWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u16(identifier);
+  w.u16(sequence);
+  w.raw(body);
+  std::uint16_t checksum = internet_checksum(wire);
+  wire[2] = static_cast<std::uint8_t>(checksum >> 8);
+  wire[3] = static_cast<std::uint8_t>(checksum & 0xff);
+  return wire;
+}
+
+Result<IcmpMessage> IcmpMessage::parse(BytesView wire) {
+  if (wire.size() < 8) return Errc::invalid_argument;
+  if (internet_checksum(wire) != 0) return Errc::invalid_argument;
+  ByteReader r(wire);
+  IcmpMessage m;
+  std::uint8_t type = r.u8();
+  switch (type) {
+    case 0: case 3: case 8: case 11: break;
+    default: return Errc::invalid_argument;  // types we do not speak
+  }
+  m.type = static_cast<IcmpType>(type);
+  m.code = r.u8();
+  r.skip(2);  // checksum, verified above
+  m.identifier = r.u16();
+  m.sequence = r.u16();
+  m.body = r.raw(r.remaining());
+  return m;
+}
+
+IcmpStack::IcmpStack(ip::IpStack& ip) : ip_(ip) {
+  ip_.register_protocol(kIcmpProto,
+                        [this](const net::Ipv4Header& header, Bytes payload) {
+                          on_datagram(header, std::move(payload));
+                        });
+  // Forwarding-plane errors originate here.
+  ip_.set_ttl_expired_handler(
+      [this](const net::Datagram& offending) { send_time_exceeded(offending); });
+  ip_.set_unroutable_handler([this](const net::Datagram& offending) {
+    send_unreachable(offending, UnreachableCode::host_unreachable);
+  });
+}
+
+void IcmpStack::ping(net::Ipv4Address destination, PingCallback callback,
+                     sim::Duration timeout, std::size_t payload_bytes,
+                     std::uint8_t ttl) {
+  IcmpMessage request;
+  request.type = IcmpType::echo_request;
+  request.identifier = next_identifier_++;
+  request.sequence = next_sequence_++;
+  request.body.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    request.body[i] = static_cast<std::uint8_t>(i);
+  }
+
+  std::uint32_t key = (static_cast<std::uint32_t>(request.identifier) << 16) |
+                      request.sequence;
+  PendingPing pending;
+  pending.callback = std::move(callback);
+  pending.sent_at = ip_.scheduler().now();
+  pending.timeout_timer =
+      ip_.scheduler().schedule_after(timeout, [this, key] {
+        auto it = pending_.find(key);
+        if (it == pending_.end()) return;
+        PingCallback callback = std::move(it->second.callback);
+        pending_.erase(it);
+        callback(PingReply{});  // ok = false
+      });
+  pending_.emplace(key, std::move(pending));
+
+  net::Datagram datagram;
+  datagram.header.protocol = kIcmpProto;
+  datagram.header.dst = destination;
+  datagram.payload = request.serialize();
+  if (!ip_.send_with_ttl(std::move(datagram), ttl).ok()) {
+    // No route: report failure at the next event, symmetrical with timeout.
+    ip_.scheduler().schedule_after(sim::Duration{0}, [this, key] {
+      auto it = pending_.find(key);
+      if (it == pending_.end()) return;
+      ip_.scheduler().cancel(it->second.timeout_timer);
+      PingCallback callback = std::move(it->second.callback);
+      pending_.erase(it);
+      callback(PingReply{});
+    });
+  }
+}
+
+Status IcmpStack::traceroute(net::Ipv4Address destination,
+                             TracerouteCallback done, int max_hops,
+                             sim::Duration hop_timeout) {
+  if (traceroute_.has_value()) return Errc::would_block;
+  TracerouteSession session;
+  session.destination = destination;
+  session.done = std::move(done);
+  session.max_hops = max_hops;
+  session.hop_timeout = hop_timeout;
+  traceroute_ = std::move(session);
+  traceroute_probe();
+  return Status::success();
+}
+
+void IcmpStack::traceroute_probe() {
+  traceroute_->current_hop++;
+  traceroute_->hop_resolved = false;
+  int hop = traceroute_->current_hop;
+  ping(
+      traceroute_->destination,
+      [this, hop](const PingReply& reply) {
+        // A time-exceeded error may have resolved this hop already; a late
+        // ping timeout for it is then stale.
+        if (!traceroute_ || traceroute_->current_hop != hop ||
+            traceroute_->hop_resolved) {
+          return;
+        }
+        Hop result;
+        result.hop = hop;
+        if (reply.ok) {
+          result.responded = true;
+          result.reached = true;
+          result.router = reply.from;
+        }
+        traceroute_hop_done(result);
+      },
+      traceroute_->hop_timeout, /*payload_bytes=*/16,
+      static_cast<std::uint8_t>(hop));
+}
+
+void IcmpStack::traceroute_hop_done(Hop hop) {
+  traceroute_->hop_resolved = true;
+  traceroute_->hops.push_back(hop);
+  if (hop.reached || traceroute_->current_hop >= traceroute_->max_hops) {
+    TracerouteCallback done = std::move(traceroute_->done);
+    std::vector<Hop> hops = std::move(traceroute_->hops);
+    traceroute_.reset();
+    done(hops);
+    return;
+  }
+  traceroute_probe();
+}
+
+void IcmpStack::send_unreachable(const net::Datagram& offending,
+                                 UnreachableCode code) {
+  send_error(offending, IcmpType::destination_unreachable,
+             static_cast<std::uint8_t>(code));
+}
+
+void IcmpStack::send_time_exceeded(const net::Datagram& offending) {
+  send_error(offending, IcmpType::time_exceeded, 0);
+}
+
+void IcmpStack::send_error(const net::Datagram& offending, IcmpType type,
+                           std::uint8_t code) {
+  // Never generate errors about ICMP errors (RFC 792 loop prevention).
+  if (offending.header.protocol == kIcmpProto) {
+    auto inner = IcmpMessage::parse(offending.payload);
+    if (inner.ok() && inner.value().type != IcmpType::echo_request &&
+        inner.value().type != IcmpType::echo_reply) {
+      return;
+    }
+  }
+  if (offending.header.src.is_unspecified()) return;
+
+  IcmpMessage error;
+  error.type = type;
+  error.code = code;
+  // Body: the offending IP header + first 8 payload bytes.
+  Bytes offender_wire = offending.serialize();
+  std::size_t keep = std::min<std::size_t>(offender_wire.size(),
+                                           net::Ipv4Header::kSize + 8);
+  error.body.assign(offender_wire.begin(),
+                    offender_wire.begin() + static_cast<std::ptrdiff_t>(keep));
+
+  net::Datagram datagram;
+  datagram.header.protocol = kIcmpProto;
+  datagram.header.dst = offending.header.src;
+  datagram.payload = error.serialize();
+  (void)ip_.send(std::move(datagram));
+}
+
+void IcmpStack::on_datagram(const net::Ipv4Header& header, Bytes payload) {
+  auto parsed = IcmpMessage::parse(payload);
+  if (!parsed) return;
+  IcmpMessage message = std::move(parsed).value();
+
+  switch (message.type) {
+    case IcmpType::echo_request: {
+      echo_answered_++;
+      IcmpMessage reply;
+      reply.type = IcmpType::echo_reply;
+      reply.identifier = message.identifier;
+      reply.sequence = message.sequence;
+      reply.body = std::move(message.body);
+      net::Datagram datagram;
+      datagram.header.protocol = kIcmpProto;
+      // Reply from the address that was pinged (it may be a virtual host).
+      datagram.header.src = header.dst;
+      datagram.header.dst = header.src;
+      datagram.payload = reply.serialize();
+      (void)ip_.send(std::move(datagram));
+      return;
+    }
+    case IcmpType::echo_reply: {
+      std::uint32_t key =
+          (static_cast<std::uint32_t>(message.identifier) << 16) |
+          message.sequence;
+      auto it = pending_.find(key);
+      if (it == pending_.end()) return;
+      ip_.scheduler().cancel(it->second.timeout_timer);
+      PingReply result;
+      result.ok = true;
+      result.rtt = ip_.scheduler().now() - it->second.sent_at;
+      result.from = header.src;
+      PingCallback callback = std::move(it->second.callback);
+      pending_.erase(it);
+      callback(result);
+      return;
+    }
+    case IcmpType::destination_unreachable:
+    case IcmpType::time_exceeded: {
+      errors_received_++;
+      ErrorReport report;
+      report.type = message.type;
+      report.code = message.code;
+      report.reporter = header.src;
+      // Decode the embedded offending header, if intact.
+      ByteReader r(message.body);
+      auto offender = net::Ipv4Header::parse(r);
+      if (offender.ok()) {
+        report.original_dst = offender.value().dst;
+        report.original_proto = offender.value().protocol;
+      }
+      // An active traceroute consumes time-exceeded errors about its own
+      // echo probes.
+      if (traceroute_ && !traceroute_->hop_resolved &&
+          message.type == IcmpType::time_exceeded && offender.ok() &&
+          report.original_dst == traceroute_->destination &&
+          report.original_proto == kIcmpProto) {
+        Hop hop;
+        hop.hop = traceroute_->current_hop;
+        hop.responded = true;
+        hop.router = header.src;
+        traceroute_hop_done(hop);
+        return;
+      }
+      if (error_handler_) error_handler_(report);
+      return;
+    }
+  }
+}
+
+}  // namespace hydranet::icmp

@@ -1,0 +1,157 @@
+// ICMP (RFC 792): the control companion of the IP layer.
+//
+// Implemented message types:
+//   * echo request / echo reply           — ping (used by diagnostics and
+//                                           available to the management
+//                                           plane as a liveness primitive);
+//   * destination unreachable (port/host) — UDP to a dead port, routing
+//                                           black holes;
+//   * time exceeded                       — TTL expiry in forwarding
+//                                           (traceroute-style probing).
+//
+// An IcmpStack is attached per host; routers generate time-exceeded and
+// host-unreachable errors from the forwarding path hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "ip/ip_stack.hpp"
+#include "net/address.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydranet::icmp {
+
+inline constexpr net::IpProto kIcmpProto = static_cast<net::IpProto>(1);
+
+enum class IcmpType : std::uint8_t {
+  echo_reply = 0,
+  destination_unreachable = 3,
+  echo_request = 8,
+  time_exceeded = 11,
+};
+
+/// Codes for destination_unreachable.
+enum class UnreachableCode : std::uint8_t {
+  net_unreachable = 0,
+  host_unreachable = 1,
+  protocol_unreachable = 2,
+  port_unreachable = 3,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::echo_request;
+  std::uint8_t code = 0;
+  /// echo: identifier/sequence; errors: unused (zero).
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  /// echo: user payload; errors: the offending datagram's IP header + the
+  /// first 8 payload bytes, per RFC 792.
+  Bytes body;
+
+  Bytes serialize() const;
+  static Result<IcmpMessage> parse(BytesView wire);
+};
+
+class IcmpStack {
+ public:
+  /// Result of one ping exchange.
+  struct PingReply {
+    bool ok = false;                 ///< reply received before the timeout
+    sim::Duration rtt{};
+    net::Ipv4Address from;
+  };
+  using PingCallback = std::function<void(const PingReply&)>;
+
+  /// Delivered for every ICMP *error* addressed to this host (unreachable,
+  /// time exceeded), with the inner offending header when parseable.
+  struct ErrorReport {
+    IcmpType type{};
+    std::uint8_t code = 0;
+    net::Ipv4Address reporter;       ///< router/host that generated it
+    net::Ipv4Address original_dst;   ///< where the offending packet went
+    net::IpProto original_proto{};
+  };
+  using ErrorHandler = std::function<void(const ErrorReport&)>;
+
+  explicit IcmpStack(ip::IpStack& ip);
+
+  IcmpStack(const IcmpStack&) = delete;
+  IcmpStack& operator=(const IcmpStack&) = delete;
+
+  /// Sends an echo request; `callback` fires once — with the reply, or
+  /// with ok=false after `timeout`.  `ttl` supports traceroute probing.
+  void ping(net::Ipv4Address destination, PingCallback callback,
+            sim::Duration timeout = sim::seconds(1),
+            std::size_t payload_bytes = 32,
+            std::uint8_t ttl = net::Ipv4Header::kDefaultTtl);
+
+  /// One hop of a traceroute result.
+  struct Hop {
+    int hop = 0;
+    bool responded = false;          ///< something answered at this TTL
+    net::Ipv4Address router;         ///< who (router or the destination)
+    bool reached = false;            ///< the destination itself replied
+  };
+  using TracerouteCallback = std::function<void(const std::vector<Hop>&)>;
+
+  /// Classic TTL-walking traceroute using echo probes.  One traceroute at
+  /// a time per stack; calling again while one runs fails.
+  Status traceroute(net::Ipv4Address destination, TracerouteCallback done,
+                    int max_hops = 16,
+                    sim::Duration hop_timeout = sim::milliseconds(500));
+
+  void set_error_handler(ErrorHandler handler) {
+    error_handler_ = std::move(handler);
+  }
+
+  /// Emits a destination-unreachable error about `offending` back to its
+  /// source (used by the UDP layer for dead ports and by routers).
+  void send_unreachable(const net::Datagram& offending, UnreachableCode code);
+
+  /// Emits a time-exceeded error about `offending` back to its source
+  /// (called from the forwarding path when TTL hits zero).
+  void send_time_exceeded(const net::Datagram& offending);
+
+  std::uint64_t echo_requests_answered() const { return echo_answered_; }
+  std::uint64_t errors_received() const { return errors_received_; }
+
+ private:
+  struct PendingPing {
+    PingCallback callback;
+    sim::TimePoint sent_at;
+    sim::TimerId timeout_timer = sim::kInvalidTimer;
+  };
+
+  void on_datagram(const net::Ipv4Header& header, Bytes payload);
+  void send_error(const net::Datagram& offending, IcmpType type,
+                  std::uint8_t code);
+  void traceroute_probe();
+  void traceroute_hop_done(Hop hop);
+
+  struct TracerouteSession {
+    net::Ipv4Address destination;
+    TracerouteCallback done;
+    int max_hops = 16;
+    sim::Duration hop_timeout{};
+    int current_hop = 0;
+    bool hop_resolved = false;
+    std::vector<Hop> hops;
+  };
+
+  ip::IpStack& ip_;
+  ErrorHandler error_handler_;
+  std::optional<TracerouteSession> traceroute_;
+  std::uint16_t next_identifier_ = 1;
+  std::uint16_t next_sequence_ = 1;
+  std::unordered_map<std::uint32_t, PendingPing> pending_;  // id<<16|seq
+  std::uint64_t echo_answered_ = 0;
+  std::uint64_t errors_received_ = 0;
+};
+
+}  // namespace hydranet::icmp

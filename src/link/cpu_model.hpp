@@ -1,0 +1,39 @@
+// Per-node packet-processing cost model.
+//
+// The paper's testbed deliberately used slow machines (a 486 redirector,
+// Pentium/120 servers) "to measure the effects of bottlenecks": at small
+// write sizes, per-packet header processing dominates throughput.  This
+// model reproduces that bottleneck: each node charges a fixed per-packet
+// cost plus a per-byte cost for every datagram it handles, serialised
+// through a single virtual CPU.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace hydranet::link {
+
+struct CpuModel {
+  /// Fixed cost charged per datagram handled (header processing, interrupt
+  /// and protocol overhead).
+  sim::Duration per_packet{0};
+
+  /// Cost per payload byte (copies, checksums).
+  sim::Duration per_byte{0};
+
+  /// Multiplier applied to the total, e.g. to model the HydraNet-FT
+  /// modified kernel's extra per-packet work relative to a clean kernel.
+  double scale = 1.0;
+
+  sim::Duration cost(std::size_t bytes) const {
+    double ns = static_cast<double>(per_packet.ns) +
+                static_cast<double>(per_byte.ns) * static_cast<double>(bytes);
+    return sim::Duration{static_cast<std::int64_t>(ns * scale)};
+  }
+
+  /// A node that processes packets for free (ideal hardware).
+  static CpuModel free() { return CpuModel{}; }
+};
+
+}  // namespace hydranet::link

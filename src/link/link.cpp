@@ -1,0 +1,113 @@
+#include "link/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hydranet::link {
+
+Status NetworkInterface::send(Bytes frame) {
+  if (!up_) return Errc::no_route;
+  if (link_ == nullptr) return Errc::no_route;
+  tx_packets_++;
+  tx_bytes_ += frame.size();
+  return link_->transmit(this, std::move(frame));
+}
+
+NetworkInterface::NetworkInterface(std::string name, net::Ipv4Address address,
+                                   int prefix_len)
+    : name_(std::move(name)), address_(address), prefix_len_(prefix_len) {
+  assert(prefix_len >= 0 && prefix_len <= 32);
+}
+
+bool NetworkInterface::on_subnet(net::Ipv4Address dst) const {
+  if (prefix_len_ == 0) return true;
+  std::uint32_t mask = prefix_len_ == 32
+                           ? 0xffffffffu
+                           : ~((1u << (32 - prefix_len_)) - 1);
+  return (dst.value() & mask) == (address_.value() & mask);
+}
+
+void NetworkInterface::handle_rx(Bytes frame) {
+  if (!up_) return;  // a downed NIC hears nothing
+  rx_packets_++;
+  rx_bytes_ += frame.size();
+  if (rx_handler_) rx_handler_(std::move(frame));
+}
+
+Link::Link(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler),
+      config_(config),
+      loss_(config.loss_probability > 0
+                ? std::unique_ptr<LossModel>(
+                      std::make_unique<BernoulliLoss>(config.loss_probability))
+                : std::make_unique<NoLoss>()),
+      rng_(config.seed) {}
+
+void Link::attach(NetworkInterface& a, NetworkInterface& b) {
+  end_a_ = &a;
+  end_b_ = &b;
+  a.set_link(this);
+  b.set_link(this);
+  toward_b_.destination = &b;
+  toward_a_.destination = &a;
+}
+
+void Link::set_loss_model(std::unique_ptr<LossModel> model) {
+  assert(model);
+  loss_ = std::move(model);
+}
+
+Link::Direction& Link::direction_from(const NetworkInterface* from) {
+  assert(from == end_a_ || from == end_b_);
+  return from == end_a_ ? toward_b_ : toward_a_;
+}
+
+Status Link::transmit(const NetworkInterface* from, Bytes frame) {
+  if (down_) {
+    stats_.down_drops++;
+    return Errc::no_route;
+  }
+  if (tap_) tap_(*from, frame);
+  Direction& dir = direction_from(from);
+  if (dir.queued >= config_.queue_capacity_packets) {
+    stats_.queue_drops++;
+    // Drop-tail loss is silent on real hardware too; callers relying on
+    // delivery must recover end-to-end (that is TCP's job).
+    return Status::success();
+  }
+  dir.queued++;
+
+  sim::TimePoint start =
+      std::max(scheduler_.now(), dir.transmitter_free);
+  auto tx_ns = static_cast<std::int64_t>(
+      static_cast<double>(frame.size()) * 8.0 / config_.bandwidth_bps * 1e9);
+  sim::TimePoint done = start + sim::Duration{tx_ns};
+  dir.transmitter_free = done;
+
+  // Departure: the frame leaves the queue when fully serialised.
+  scheduler_.schedule_at(done, [this, &dir] {
+    assert(dir.queued > 0);
+    dir.queued--;
+  });
+
+  // Arrival: after propagation, subject to the loss model.
+  bool dropped = loss_->should_drop(rng_, frame.size());
+  sim::TimePoint arrival = done + config_.propagation;
+  if (dropped) {
+    stats_.loss_drops++;
+    return Status::success();
+  }
+  NetworkInterface* destination = dir.destination;
+  scheduler_.schedule_at(
+      arrival, [this, destination, frame = std::move(frame)]() mutable {
+        if (down_) {
+          stats_.down_drops++;
+          return;
+        }
+        stats_.delivered++;
+        destination->handle_rx(std::move(frame));
+      });
+  return Status::success();
+}
+
+}  // namespace hydranet::link

@@ -1,0 +1,82 @@
+// Point-to-point link with bandwidth, propagation delay, a drop-tail queue,
+// and a pluggable loss model per direction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "link/interface.hpp"
+#include "link/loss_model.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydranet::link {
+
+class Link {
+ public:
+  struct Config {
+    double bandwidth_bps = 10e6;  ///< 10 Mb/s Ethernet by default
+    sim::Duration propagation = sim::microseconds(50);
+    std::size_t queue_capacity_packets = 64;  ///< drop-tail threshold
+    double loss_probability = 0.0;            ///< shortcut for BernoulliLoss
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t loss_drops = 0;
+    std::uint64_t down_drops = 0;
+  };
+
+  Link(sim::Scheduler& scheduler, Config config);
+
+  /// Wires the link between two interfaces (sets their link pointers).
+  void attach(NetworkInterface& a, NetworkInterface& b);
+
+  /// Enqueues `frame` for transmission from interface `from` toward the
+  /// other end.  Fails with would_block when the drop-tail queue is full.
+  Status transmit(const NetworkInterface* from, Bytes frame);
+
+  /// Replaces the loss model applied to both directions.
+  void set_loss_model(std::unique_ptr<LossModel> model);
+
+  /// Monitoring tap: sees every frame accepted for transmission (before
+  /// loss is applied), with the interface it came from.  One tap per link.
+  using Tap = std::function<void(const NetworkInterface& from,
+                                 const Bytes& frame)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Takes the link down (failure injection); frames in flight still land.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Direction {
+    NetworkInterface* destination = nullptr;
+    sim::TimePoint transmitter_free{};
+    std::size_t queued = 0;
+  };
+
+  Direction& direction_from(const NetworkInterface* from);
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  NetworkInterface* end_a_ = nullptr;
+  NetworkInterface* end_b_ = nullptr;
+  Direction toward_b_;  // frames sent by end_a_
+  Direction toward_a_;  // frames sent by end_b_
+  std::unique_ptr<LossModel> loss_;
+  Rng rng_;
+  bool down_ = false;
+  Tap tap_;
+  Stats stats_;
+};
+
+}  // namespace hydranet::link

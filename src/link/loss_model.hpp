@@ -1,0 +1,66 @@
+// Packet-loss models for simulated links and channels.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace hydranet::link {
+
+/// Decides, per packet, whether the wire loses it.  `frame_size` lets
+/// failure-injection models target specific traffic (e.g. only full-size
+/// data frames, not 40-byte ACKs).
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual bool should_drop(Rng& rng, std::size_t frame_size) = 0;
+};
+
+/// Never drops (the default).
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(Rng&, std::size_t) override { return false; }
+};
+
+/// Independent (Bernoulli) loss with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool should_drop(Rng& rng, std::size_t) override {
+    return rng.bernoulli(p_);
+  }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott burst loss: a good state with loss p_good and
+/// a bad state with loss p_bad, switching with the given probabilities per
+/// packet.  Models the correlated losses of congested links.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good = 0.0;          ///< loss probability in the good state
+    double p_bad = 0.5;           ///< loss probability in the bad state
+    double p_good_to_bad = 0.01;  ///< transition chance per packet
+    double p_bad_to_good = 0.2;
+  };
+
+  explicit GilbertElliottLoss(Params params) : params_(params) {}
+
+  bool should_drop(Rng& rng, std::size_t) override {
+    if (bad_) {
+      if (rng.bernoulli(params_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? params_.p_bad : params_.p_good);
+  }
+
+ private:
+  Params params_;
+  bool bad_ = false;
+};
+
+}  // namespace hydranet::link

@@ -1,0 +1,87 @@
+// Management daemon on a HydraNet host server (§4.4).
+//
+// Owns the host's acknowledgement-channel endpoint and its replicated
+// services; registers replicas with the redirector, answers probe pings,
+// applies chain (re)wiring and promotion orders, and forwards failure
+// signals from the local failure estimators to the redirector.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ftcp/replicated_service.hpp"
+#include "mgmt/protocol.hpp"
+
+namespace hydranet::mgmt {
+
+class HostAgent {
+ public:
+  struct Stats {
+    std::uint64_t pings_answered = 0;
+    std::uint64_t failure_reports_sent = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t shutdowns = 0;
+  };
+
+  /// `redirector` is the address of the redirector whose management daemon
+  /// this host talks to (the paper's "nearest redirector").  Registrations
+  /// are re-announced every `heartbeat_interval` so a restarted redirector
+  /// daemon rebuilds its tables (re-registration is idempotent there).
+  HostAgent(host::Host& host, net::Ipv4Address redirector,
+            sim::Duration heartbeat_interval = sim::seconds(10));
+  ~HostAgent();
+
+  HostAgent(const HostAgent&) = delete;
+  HostAgent& operator=(const HostAgent&) = delete;
+
+  /// Installs a service replica on this host: creates the ft-TCP machinery
+  /// (virtual host, replicated port, ack-channel registration) and tells
+  /// the redirector.  The application then listens on the service endpoint
+  /// as usual.
+  ftcp::ReplicatedService& install_replica(
+      const net::Endpoint& service, tcp::ReplicaMode mode,
+      ftcp::DetectorParams detector = {},
+      sim::Duration refresh_interval = sim::milliseconds(50));
+
+  /// Installs a *scaled* (non-FT) replica: redirection only, no chain.
+  void install_scaled_replica(const net::Endpoint& service);
+
+  /// Voluntary leave (deletion of a primary or backup server).
+  void leave(const net::Endpoint& service);
+
+  /// Extension (paper §6 future work): re-commission this host as a backup
+  /// after recovery.  Existing connections are handled in pass-through
+  /// mode; new connections get full protection.
+  ftcp::ReplicatedService& rejoin(const net::Endpoint& service,
+                                  ftcp::DetectorParams detector = {});
+
+  ftcp::ReplicatedService* replica(const net::Endpoint& service);
+  ftcp::AckChannel& ack_channel() { return channel_; }
+  MgmtTransport& transport() { return transport_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_message(const net::Endpoint& from, const MgmtMessage& message);
+  void on_failure_signal(const ftcp::ReplicatedService::FailureSignal& signal);
+  void send_registration(const net::Endpoint& service, tcp::ReplicaMode mode,
+                         bool reliable);
+  void heartbeat();
+  net::Ipv4Address own_address() const {
+    return host_.ip().primary_address();
+  }
+
+  host::Host& host_;
+  net::Ipv4Address redirector_;
+  MgmtTransport transport_;
+  ftcp::AckChannel channel_;
+  std::unordered_map<net::Endpoint, std::unique_ptr<ftcp::ReplicatedService>>
+      replicas_;
+  std::unordered_set<net::Endpoint> scaled_services_;
+  sim::Duration heartbeat_interval_;
+  sim::TimerId heartbeat_timer_ = sim::kInvalidTimer;
+  Stats stats_;
+};
+
+}  // namespace hydranet::mgmt

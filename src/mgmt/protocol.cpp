@@ -1,0 +1,146 @@
+#include "mgmt/protocol.hpp"
+
+#include "common/logging.hpp"
+
+namespace hydranet::mgmt {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::ack: return "ack";
+    case MsgType::ping: return "ping";
+    case MsgType::pong: return "pong";
+    case MsgType::register_primary: return "register_primary";
+    case MsgType::register_backup: return "register_backup";
+    case MsgType::deregister: return "deregister";
+    case MsgType::failure_report: return "failure_report";
+    case MsgType::set_predecessor: return "set_predecessor";
+    case MsgType::set_successor: return "set_successor";
+    case MsgType::promote: return "promote";
+    case MsgType::shutdown_service: return "shutdown_service";
+  }
+  return "?";
+}
+
+Bytes MgmtMessage::serialize() const {
+  Bytes out;
+  out.reserve(24);
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(request_id);
+  w.u32(service.address.value());
+  w.u16(service.port);
+  w.u32(host.value());
+  std::uint8_t flags = 0;
+  if (has_host) flags |= 0x01;
+  if (fault_tolerant) flags |= 0x02;
+  if (blocked_on_successor) flags |= 0x04;
+  if (explicit_registration) flags |= 0x08;
+  w.u8(flags);
+  return out;
+}
+
+Result<MgmtMessage> MgmtMessage::parse(BytesView wire) {
+  ByteReader r(wire);
+  if (r.u32() != kMagic) return Errc::protocol_error;
+  MgmtMessage m;
+  std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(MsgType::shutdown_service)) {
+    return Errc::protocol_error;
+  }
+  m.type = static_cast<MsgType>(type);
+  m.request_id = r.u32();
+  m.service.address = net::Ipv4Address(r.u32());
+  m.service.port = r.u16();
+  m.host = net::Ipv4Address(r.u32());
+  std::uint8_t flags = r.u8();
+  m.has_host = (flags & 0x01) != 0;
+  m.fault_tolerant = (flags & 0x02) != 0;
+  m.blocked_on_successor = (flags & 0x04) != 0;
+  m.explicit_registration = (flags & 0x08) != 0;
+  if (r.truncated()) return Errc::invalid_argument;
+  return m;
+}
+
+MgmtTransport::MgmtTransport(host::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  auto socket = host_.udp().bind(net::Ipv4Address(), port_);
+  if (!socket) {
+    HLOG(error, "mgmt") << "transport bind failed on " << host_.name();
+    return;
+  }
+  socket_ = socket.value();
+  socket_->set_rx_handler([this](const net::Endpoint& from, Bytes data) {
+    on_datagram(from, std::move(data));
+  });
+}
+
+MgmtTransport::~MgmtTransport() {
+  for (auto& [id, pending] : pending_) {
+    host_.scheduler().cancel(pending.timer);
+  }
+  if (socket_ != nullptr) socket_->close();
+}
+
+Status MgmtTransport::send(const net::Endpoint& to,
+                           const MgmtMessage& message) {
+  if (socket_ == nullptr) return Errc::closed;
+  return socket_->send_to(to, message.serialize());
+}
+
+void MgmtTransport::send_reliable(const net::Endpoint& to, MgmtMessage message,
+                                  int max_retries,
+                                  sim::Duration retry_interval) {
+  if (message.request_id == 0) message.request_id = allocate_request_id();
+  Pending pending;
+  pending.to = to;
+  pending.message = message;
+  pending.retries_left = max_retries;
+  pending.interval = retry_interval;
+  std::uint32_t id = message.request_id;
+  pending.timer = host_.scheduler().schedule_after(retry_interval,
+                                                   [this, id] { retry(id); });
+  pending_.emplace(id, pending);
+  (void)send(to, message);
+}
+
+void MgmtTransport::retry(std::uint32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (pending.retries_left-- <= 0) {
+    HLOG(debug, "mgmt") << host_.name() << " abandons "
+                        << to_string(pending.message.type) << " to "
+                        << pending.to.to_string();
+    pending_.erase(it);
+    return;
+  }
+  (void)send(pending.to, pending.message);
+  pending.timer = host_.scheduler().schedule_after(
+      pending.interval, [this, request_id] { retry(request_id); });
+}
+
+void MgmtTransport::acknowledge(const net::Endpoint& to,
+                                std::uint32_t request_id) {
+  MgmtMessage ack;
+  ack.type = MsgType::ack;
+  ack.request_id = request_id;
+  (void)send(to, ack);
+}
+
+void MgmtTransport::on_datagram(const net::Endpoint& from, Bytes data) {
+  auto parsed = MgmtMessage::parse(data);
+  if (!parsed) return;
+  const MgmtMessage& message = parsed.value();
+  if (message.type == MsgType::ack) {
+    auto it = pending_.find(message.request_id);
+    if (it != pending_.end()) {
+      host_.scheduler().cancel(it->second.timer);
+      pending_.erase(it);
+    }
+    return;
+  }
+  if (handler_) handler_(from, message);
+}
+
+}  // namespace hydranet::mgmt

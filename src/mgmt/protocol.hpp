@@ -1,0 +1,113 @@
+// Replica-management protocol (§4.4): message format and the UDP transport
+// used by the management daemons on HydraNet hosts and redirectors.
+//
+// As in the paper, the daemons speak UDP: plain datagrams for idempotent
+// operations (ping/pong, failure reports are retried by their source), and
+// a simple reliable request/ack exchange for state-changing operations
+// (registration, chain wiring, promotion, shut-down).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "host/host.hpp"
+#include "net/address.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydranet::mgmt {
+
+enum class MsgType : std::uint8_t {
+  ack = 0,
+  ping = 1,
+  pong = 2,
+  register_primary = 3,   ///< creation of a primary server
+  register_backup = 4,    ///< creation of a backup server
+  deregister = 5,         ///< voluntary leave
+  failure_report = 6,     ///< failure estimator fired on some replica
+  set_predecessor = 7,    ///< chain wiring: where your reports go
+  set_successor = 8,      ///< chain wiring: whose reports gate you
+  promote = 9,            ///< backup becomes primary
+  shutdown_service = 10,  ///< replica eliminated from the set
+};
+
+const char* to_string(MsgType type);
+
+struct MgmtMessage {
+  static constexpr std::uint32_t kMagic = 0x48594d47;  // "HYMG"
+
+  MsgType type = MsgType::ping;
+  std::uint32_t request_id = 0;  ///< nonzero: sender expects an ack echoing it
+  net::Endpoint service;         ///< the replicated service concerned
+  net::Ipv4Address host;         ///< subject host (registrant/neighbour/suspect)
+  bool has_host = false;         ///< host field meaningful (clear vs. set)
+  bool fault_tolerant = true;    ///< registration: FT (multicast) vs. scaled
+  bool blocked_on_successor = false;  ///< failure report context
+  /// Registration: a deliberate (re)install by the operator/agent, as
+  /// opposed to a periodic heartbeat re-announcement.  Only explicit
+  /// registrations can lift the ban on an eliminated replica (fencing:
+  /// a zombie's heartbeats must not re-admit it).
+  bool explicit_registration = false;
+
+  Bytes serialize() const;
+  static Result<MgmtMessage> parse(BytesView wire);
+};
+
+/// UDP transport with request/ack reliability for the management daemons.
+class MgmtTransport {
+ public:
+  static constexpr std::uint16_t kPort = 5300;
+
+  using Handler = std::function<void(const net::Endpoint& from,
+                                     const MgmtMessage& message)>;
+
+  explicit MgmtTransport(host::Host& host, std::uint16_t port = kPort);
+  ~MgmtTransport();
+
+  MgmtTransport(const MgmtTransport&) = delete;
+  MgmtTransport& operator=(const MgmtTransport&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Fire-and-forget datagram.
+  Status send(const net::Endpoint& to, const MgmtMessage& message);
+
+  /// Sends with retries until an ack echoing the request id arrives (or
+  /// retries are exhausted — the operation is then silently abandoned, as
+  /// the peer is presumed dead and reconfiguration will handle it).
+  void send_reliable(const net::Endpoint& to, MgmtMessage message,
+                     int max_retries = 8,
+                     sim::Duration retry_interval = sim::milliseconds(200));
+
+  /// Acks a reliable request.
+  void acknowledge(const net::Endpoint& to, std::uint32_t request_id);
+
+  std::uint32_t allocate_request_id() { return next_request_id_++; }
+
+  host::Host& host() { return host_; }
+  std::uint16_t port() const { return port_; }
+  std::size_t pending_requests() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    net::Endpoint to;
+    MgmtMessage message;
+    int retries_left;
+    sim::Duration interval;
+    sim::TimerId timer = sim::kInvalidTimer;
+  };
+
+  void on_datagram(const net::Endpoint& from, Bytes data);
+  void retry(std::uint32_t request_id);
+
+  host::Host& host_;
+  std::uint16_t port_;
+  udp::UdpSocket* socket_ = nullptr;
+  Handler handler_;
+  std::uint32_t next_request_id_ = 1;
+  std::unordered_map<std::uint32_t, Pending> pending_;
+};
+
+}  // namespace hydranet::mgmt

@@ -1,0 +1,39 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hydranet::net {
+
+Result<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return Errc::invalid_argument;
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+Ipv4Address Ipv4Address::must_parse(const std::string& text) {
+  auto result = parse(text);
+  if (!result) {
+    std::fprintf(stderr, "invalid IPv4 literal: %s\n", text.c_str());
+    std::abort();
+  }
+  return result.value();
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace hydranet::net

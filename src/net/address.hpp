@@ -1,0 +1,66 @@
+// IPv4 addresses and transport endpoints.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace hydranet::net {
+
+/// An IPv4 address, stored in host order internally.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad notation ("192.20.225.20").
+  static Result<Ipv4Address> parse(const std::string& text);
+
+  /// Parses dotted-quad, aborting on malformed input.  For literals in
+  /// tests and examples where the string is a constant.
+  static Ipv4Address must_parse(const std::string& text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A transport-level service access point: IP address + port.
+struct Endpoint {
+  Ipv4Address address;
+  std::uint16_t port = 0;
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace hydranet::net
+
+template <>
+struct std::hash<hydranet::net::Ipv4Address> {
+  std::size_t operator()(const hydranet::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<hydranet::net::Endpoint> {
+  std::size_t operator()(const hydranet::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.address.value()) << 16) ^ e.port);
+  }
+};

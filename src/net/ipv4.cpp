@@ -1,0 +1,89 @@
+#include "net/ipv4.hpp"
+
+namespace hydranet::net {
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  Bytes header;
+  header.reserve(kSize);
+  ByteWriter h(header);
+  h.u8(0x45);  // version 4, IHL 5
+  h.u8(tos);
+  h.u16(total_length);
+  h.u16(identification);
+  std::uint16_t flags_frag = fragment_offset & 0x1fff;
+  if (dont_fragment) flags_frag |= 0x4000;
+  if (more_fragments) flags_frag |= 0x2000;
+  h.u16(flags_frag);
+  h.u8(ttl);
+  h.u8(static_cast<std::uint8_t>(protocol));
+  h.u16(0);  // checksum placeholder
+  h.u32(src.value());
+  h.u32(dst.value());
+  std::uint16_t checksum = internet_checksum(header);
+  header[10] = static_cast<std::uint8_t>(checksum >> 8);
+  header[11] = static_cast<std::uint8_t>(checksum & 0xff);
+  w.raw(header);
+}
+
+Result<Ipv4Header> Ipv4Header::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return Errc::invalid_argument;
+  // Checksum over the raw header bytes must come out zero.
+  if (internet_checksum(r.rest().subspan(0, kSize)) != 0) {
+    return Errc::invalid_argument;
+  }
+  Ipv4Header h;
+  std::uint8_t version_ihl = r.u8();
+  if (version_ihl != 0x45) return Errc::invalid_argument;
+  h.tos = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  std::uint16_t flags_frag = r.u16();
+  h.dont_fragment = (flags_frag & 0x4000) != 0;
+  h.more_fragments = (flags_frag & 0x2000) != 0;
+  h.fragment_offset = flags_frag & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  r.skip(2);  // checksum, verified above
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  if (h.total_length < kSize) return Errc::invalid_argument;
+  return h;
+}
+
+Bytes Datagram::serialize() const {
+  Bytes wire;
+  wire.reserve(size());
+  ByteWriter w(wire);
+  Ipv4Header h = header;
+  h.total_length = static_cast<std::uint16_t>(size());
+  h.serialize(w);
+  w.raw(payload);
+  return wire;
+}
+
+Result<Datagram> Datagram::parse(BytesView wire) {
+  ByteReader r(wire);
+  auto header = Ipv4Header::parse(r);
+  if (!header) return header.error();
+  std::size_t payload_len = header.value().total_length - Ipv4Header::kSize;
+  if (r.remaining() < payload_len) return Errc::invalid_argument;
+  Datagram d;
+  d.header = header.value();
+  d.payload = r.raw(payload_len);
+  return d;
+}
+
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                IpProto proto, std::uint16_t length) {
+  Bytes pseudo;
+  pseudo.reserve(12);
+  ByteWriter w(pseudo);
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u16(length);
+  return checksum_accumulate(pseudo, 0);
+}
+
+}  // namespace hydranet::net

@@ -1,0 +1,65 @@
+// IPv4 datagram wire format: header serialisation, checksum, fragmentation
+// fields, and IP-in-IP (protocol 4) encapsulation used by the redirectors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/address.hpp"
+
+namespace hydranet::net {
+
+/// IP protocol numbers used by HydraNet-FT.
+enum class IpProto : std::uint8_t {
+  ipip = 4,   ///< IP-in-IP tunnelling (redirector -> host server)
+  tcp = 6,
+  udp = 17,
+};
+
+/// Parsed IPv4 header (no options; IHL is always 5 on our wire).
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kDefaultTtl = 64;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  ///< header + payload, bytes
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  ///< in 8-byte units
+  std::uint8_t ttl = kDefaultTtl;
+  IpProto protocol = IpProto::tcp;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  bool is_fragment() const { return more_fragments || fragment_offset != 0; }
+
+  /// Serialises the header (computing the header checksum).
+  void serialize(ByteWriter& w) const;
+
+  /// Parses and checksum-verifies a header.  `total_length` is validated
+  /// against the buffer by the caller (the link may pad).
+  static Result<Ipv4Header> parse(ByteReader& r);
+};
+
+/// A full IPv4 datagram as it travels the simulated wire.
+struct Datagram {
+  Ipv4Header header;
+  Bytes payload;
+
+  std::size_t size() const { return Ipv4Header::kSize + payload.size(); }
+
+  /// Serialises header + payload into a contiguous wire buffer.
+  Bytes serialize() const;
+
+  /// Parses a wire buffer into header + payload, verifying lengths and the
+  /// header checksum.
+  static Result<Datagram> parse(BytesView wire);
+};
+
+/// Builds the 12-byte TCP/UDP pseudo-header checksum prefix.
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                IpProto proto, std::uint16_t length);
+
+}  // namespace hydranet::net

@@ -1,0 +1,24 @@
+#include "net/tunnel.hpp"
+
+namespace hydranet::net {
+
+Datagram encapsulate_ipip(const Datagram& inner, Ipv4Address tunnel_src,
+                          Ipv4Address tunnel_dst) {
+  Datagram outer;
+  outer.header.protocol = IpProto::ipip;
+  outer.header.src = tunnel_src;
+  outer.header.dst = tunnel_dst;
+  // The tunnel must deliver the inner datagram intact; inner fragmentation
+  // state is preserved inside the encapsulated bytes.
+  outer.payload = inner.serialize();
+  outer.header.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + outer.payload.size());
+  return outer;
+}
+
+Result<Datagram> decapsulate_ipip(const Datagram& outer) {
+  if (outer.header.protocol != IpProto::ipip) return Errc::protocol_error;
+  return Datagram::parse(outer.payload);
+}
+
+}  // namespace hydranet::net

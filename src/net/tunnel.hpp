@@ -1,0 +1,21 @@
+// IP-in-IP encapsulation (IP protocol 4), used by redirectors to tunnel
+// redirected datagrams to host servers, which decapsulate and deliver them
+// to the virtual host matching the inner destination address.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/ipv4.hpp"
+
+namespace hydranet::net {
+
+/// Wraps `inner` (a complete serialised IPv4 datagram) in an outer datagram
+/// from `tunnel_src` to `tunnel_dst` with protocol = ipip.
+Datagram encapsulate_ipip(const Datagram& inner, Ipv4Address tunnel_src,
+                          Ipv4Address tunnel_dst);
+
+/// Unwraps an IP-in-IP datagram; fails if `outer` is not protocol ipip or
+/// the inner datagram is malformed.
+Result<Datagram> decapsulate_ipip(const Datagram& outer);
+
+}  // namespace hydranet::net

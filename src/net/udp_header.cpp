@@ -1,0 +1,47 @@
+#include "net/udp_header.hpp"
+
+namespace hydranet::net {
+
+Bytes serialize_udp(const UdpHeader& header, BytesView payload,
+                    Ipv4Address src, Ipv4Address dst) {
+  auto length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  Bytes wire;
+  wire.reserve(length);
+  ByteWriter w(wire);
+  w.u16(header.src_port);
+  w.u16(header.dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum placeholder
+  w.raw(payload);
+  std::uint32_t acc = pseudo_header_sum(src, dst, IpProto::udp, length);
+  std::uint16_t checksum = checksum_finish(checksum_accumulate(wire, acc));
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: zero means "no checksum"
+  wire[6] = static_cast<std::uint8_t>(checksum >> 8);
+  wire[7] = static_cast<std::uint8_t>(checksum & 0xff);
+  return wire;
+}
+
+Result<UdpDatagram> parse_udp(BytesView wire, Ipv4Address src,
+                              Ipv4Address dst) {
+  ByteReader r(wire);
+  if (r.remaining() < UdpHeader::kSize) return Errc::invalid_argument;
+  UdpDatagram d;
+  d.header.src_port = r.u16();
+  d.header.dst_port = r.u16();
+  std::uint16_t length = r.u16();
+  std::uint16_t checksum = r.u16();
+  if (length < UdpHeader::kSize || length > wire.size()) {
+    return Errc::invalid_argument;
+  }
+  if (checksum != 0) {
+    std::uint32_t acc = pseudo_header_sum(src, dst, IpProto::udp, length);
+    if (checksum_finish(checksum_accumulate(wire.subspan(0, length), acc)) !=
+        0) {
+      return Errc::invalid_argument;
+    }
+  }
+  d.payload = r.raw(length - UdpHeader::kSize);
+  return d;
+}
+
+}  // namespace hydranet::net

@@ -1,0 +1,32 @@
+// UDP wire format (RFC 768), including pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/ipv4.hpp"
+
+namespace hydranet::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// Serialises a UDP datagram (header + payload) with a valid checksum.
+Bytes serialize_udp(const UdpHeader& header, BytesView payload,
+                    Ipv4Address src, Ipv4Address dst);
+
+/// A parsed UDP datagram.
+struct UdpDatagram {
+  UdpHeader header;
+  Bytes payload;
+};
+
+/// Parses and checksum-verifies a UDP datagram carried in an IP payload.
+Result<UdpDatagram> parse_udp(BytesView wire, Ipv4Address src, Ipv4Address dst);
+
+}  // namespace hydranet::net

@@ -1,0 +1,145 @@
+#include "redirector/redirector.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+#include "net/tunnel.hpp"
+
+namespace hydranet::redirector {
+
+namespace {
+constexpr const char* kLog = "redirector";
+constexpr std::size_t kMaxFragmentDecisions = 4096;
+}  // namespace
+
+Redirector::Redirector(host::Host& router) : router_(router) {
+  router_.ip().set_forward_hook(
+      [this](const net::Datagram& datagram) { return on_transit(datagram); });
+}
+
+void Redirector::install_service(const net::Endpoint& service,
+                                 ServiceMode mode,
+                                 net::Ipv4Address host_server) {
+  table_[service] = ServiceEntry{mode, host_server, {}};
+  HLOG(info, kLog) << "install " << service.to_string() << " -> "
+                   << host_server.to_string();
+}
+
+Status Redirector::add_backup(const net::Endpoint& service,
+                              net::Ipv4Address backup) {
+  auto it = table_.find(service);
+  if (it == table_.end()) return Errc::not_found;
+  it->second.mode = ServiceMode::fault_tolerant;
+  auto& backups = it->second.backups;
+  if (backup == it->second.primary ||
+      std::find(backups.begin(), backups.end(), backup) != backups.end()) {
+    return Errc::already_connected;
+  }
+  backups.push_back(backup);
+  return Status::success();
+}
+
+Status Redirector::remove_replica(const net::Endpoint& service,
+                                  net::Ipv4Address replica) {
+  auto it = table_.find(service);
+  if (it == table_.end()) return Errc::not_found;
+  ServiceEntry& entry = it->second;
+  if (entry.primary == replica) {
+    if (entry.backups.empty()) {
+      table_.erase(it);
+      return Status::success();
+    }
+    entry.primary = entry.backups.front();
+    entry.backups.erase(entry.backups.begin());
+    return Status::success();
+  }
+  auto b = std::find(entry.backups.begin(), entry.backups.end(), replica);
+  if (b == entry.backups.end()) return Errc::not_found;
+  entry.backups.erase(b);
+  return Status::success();
+}
+
+Status Redirector::set_primary(const net::Endpoint& service,
+                               net::Ipv4Address new_primary) {
+  auto it = table_.find(service);
+  if (it == table_.end()) return Errc::not_found;
+  ServiceEntry& entry = it->second;
+  if (entry.primary == new_primary) return Status::success();
+  auto b = std::find(entry.backups.begin(), entry.backups.end(), new_primary);
+  if (b == entry.backups.end()) return Errc::not_found;
+  entry.backups.erase(b);
+  entry.backups.insert(entry.backups.begin(), entry.primary);
+  entry.primary = new_primary;
+  return Status::success();
+}
+
+void Redirector::remove_service(const net::Endpoint& service) {
+  table_.erase(service);
+}
+
+const ServiceEntry* Redirector::lookup(const net::Endpoint& service) const {
+  auto it = table_.find(service);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+bool Redirector::on_transit(const net::Datagram& datagram) {
+  if (datagram.header.protocol != net::IpProto::tcp &&
+      datagram.header.protocol != net::IpProto::udp) {
+    return false;
+  }
+
+  FragmentKey frag_key{datagram.header.src.value(), datagram.header.dst.value(),
+                       datagram.header.identification,
+                       static_cast<std::uint8_t>(datagram.header.protocol)};
+
+  net::Endpoint service;
+  if (datagram.header.fragment_offset != 0) {
+    // Non-first fragment: no transport header; use the decision cached
+    // when the first fragment passed by.
+    auto cached = fragment_decisions_.find(frag_key);
+    if (cached == fragment_decisions_.end()) return false;
+    service = cached->second;
+    stats_.fragment_cache_hits++;
+    if (!datagram.header.more_fragments) fragment_decisions_.erase(cached);
+  } else {
+    // TCP and UDP both carry src/dst ports in their first 4 bytes.
+    if (datagram.payload.size() < 4) return false;
+    std::uint16_t dst_port = static_cast<std::uint16_t>(
+        (datagram.payload[2] << 8) | datagram.payload[3]);
+    service = net::Endpoint{datagram.header.dst, dst_port};
+  }
+
+  auto it = table_.find(service);
+  if (it == table_.end()) {
+    stats_.passed_through++;
+    return false;
+  }
+
+  if (datagram.header.fragment_offset == 0 && datagram.header.more_fragments &&
+      fragment_decisions_.size() < kMaxFragmentDecisions) {
+    fragment_decisions_.emplace(frag_key, service);
+  }
+
+  stats_.redirected_datagrams++;
+  tunnel_to(datagram, it->second);
+  return true;
+}
+
+void Redirector::tunnel_to(const net::Datagram& datagram,
+                           const ServiceEntry& entry) {
+  const net::Ipv4Address tunnel_src = router_.ip().primary_address();
+  auto send_copy = [&](net::Ipv4Address host_server) {
+    net::Datagram outer =
+        net::encapsulate_ipip(datagram, tunnel_src, host_server);
+    stats_.copies_sent++;
+    (void)router_.ip().send(std::move(outer));
+  };
+
+  send_copy(entry.primary);
+  if (entry.mode == ServiceMode::fault_tolerant) {
+    for (net::Ipv4Address backup : entry.backups) send_copy(backup);
+  }
+}
+
+}  // namespace hydranet::redirector

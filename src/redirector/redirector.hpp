@@ -1,0 +1,104 @@
+// The HydraNet redirector data plane (§3, §4.2).
+//
+// A redirector is a router that checks every transit datagram's destination
+// (IP address, port) against its redirector table.  On a hit it tunnels the
+// datagram (IP-in-IP) to the host server(s) running replicas:
+//
+//   * scaled services   — one copy, to the nearest replica;
+//   * fault-tolerant    — one copy to the primary AND one to every backup
+//                         (the paper's simple, non-reliable multicast).
+//
+// On a miss the datagram is forwarded normally, so non-participating
+// traffic (the paper's telnet example) is untouched.  Return traffic from
+// the replicas to clients never passes through this logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.hpp"
+#include "net/address.hpp"
+#include "net/ipv4.hpp"
+
+namespace hydranet::redirector {
+
+enum class ServiceMode {
+  scaled,          ///< replicated for scalability: forward to one replica
+  fault_tolerant,  ///< replicated for fault tolerance: multicast to all
+};
+
+/// One redirector-table row.
+struct ServiceEntry {
+  ServiceMode mode = ServiceMode::scaled;
+  net::Ipv4Address primary;                 ///< host server of the primary
+  std::vector<net::Ipv4Address> backups;    ///< host servers of the backups
+};
+
+class Redirector {
+ public:
+  struct Stats {
+    std::uint64_t redirected_datagrams = 0;
+    std::uint64_t copies_sent = 0;         ///< tunnelled copies (>= redirected)
+    std::uint64_t fragment_cache_hits = 0;
+    std::uint64_t passed_through = 0;      ///< table misses
+  };
+
+  /// Installs the data plane on `router` (its IP forwarding hook).
+  explicit Redirector(host::Host& router);
+
+  // ---- control plane (driven by the replica-management protocol) --------
+
+  /// Installs/replaces a service: packets to `service` now go to
+  /// `host_server`.
+  void install_service(const net::Endpoint& service, ServiceMode mode,
+                       net::Ipv4Address host_server);
+  /// Adds a backup replica to a fault-tolerant service.
+  Status add_backup(const net::Endpoint& service, net::Ipv4Address backup);
+  /// Removes one replica (primary or backup).  Removing the primary
+  /// promotes the first backup in table order; removing the last replica
+  /// removes the service.
+  Status remove_replica(const net::Endpoint& service,
+                        net::Ipv4Address replica);
+  /// Re-points the primary (fail-over decided by the management protocol).
+  Status set_primary(const net::Endpoint& service,
+                     net::Ipv4Address new_primary);
+  void remove_service(const net::Endpoint& service);
+
+  const ServiceEntry* lookup(const net::Endpoint& service) const;
+  std::size_t table_size() const { return table_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  host::Host& router() { return router_; }
+
+ private:
+  /// The forwarding hook: true = datagram consumed (redirected).
+  bool on_transit(const net::Datagram& datagram);
+  void tunnel_to(const net::Datagram& datagram, const ServiceEntry& entry);
+
+  struct FragmentKey {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint16_t id;
+    std::uint8_t proto;
+    bool operator==(const FragmentKey&) const = default;
+  };
+  struct FragmentKeyHash {
+    std::size_t operator()(const FragmentKey& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.src) << 32) ^ k.dst;
+      h ^= (static_cast<std::uint64_t>(k.id) << 8) ^ k.proto;
+      return std::hash<std::uint64_t>{}(h * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  host::Host& router_;
+  std::unordered_map<net::Endpoint, ServiceEntry> table_;
+  // Non-first fragments carry no ports; remember the redirection decision
+  // made for the first fragment of each datagram.
+  std::unordered_map<FragmentKey, net::Endpoint, FragmentKeyHash>
+      fragment_decisions_;
+  Stats stats_;
+};
+
+}  // namespace hydranet::redirector

@@ -1,0 +1,70 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace hydranet::sim {
+
+TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
+  assert(cb);
+  if (t < now_) t = now_;  // clamp: "immediately" for past deadlines
+  TimerId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+TimerId Scheduler::schedule_after(Duration d, Callback cb) {
+  if (d.ns < 0) d = Duration{0};
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+void Scheduler::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  // Lazy cancellation: the event stays queued but is skipped on pop.  The
+  // cancelled set is pruned as those events surface.
+  if (id < next_id_) cancelled_.insert(id);
+}
+
+bool Scheduler::run_next() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    now_ = top.time;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(TimePoint t) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    now_ = top.time;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    cb();
+    ++executed;
+  }
+  if (now_ < t) now_ = t;
+  return executed;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace hydranet::sim

@@ -1,0 +1,18 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace hydranet::sim {
+
+namespace {
+std::string format_seconds(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", static_cast<double>(ns) / 1e9);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(TimePoint t) { return format_seconds(t.ns); }
+std::string to_string(Duration d) { return format_seconds(d.ns); }
+
+}  // namespace hydranet::sim

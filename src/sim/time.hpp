@@ -1,0 +1,54 @@
+// Strongly-typed simulated time.
+//
+// All protocol machinery runs against virtual time supplied by the
+// Scheduler; nothing in the stack ever consults a wall clock, which is what
+// makes every experiment bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hydranet::sim {
+
+/// A span of simulated time, in nanoseconds.
+struct Duration {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {ns / k}; }
+  constexpr Duration& operator+=(Duration o) { ns += o.ns; return *this; }
+
+  constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+  constexpr double millis() const { return static_cast<double>(ns) / 1e6; }
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr TimePoint operator-(Duration d) const { return {ns - d.ns}; }
+  constexpr Duration operator-(TimePoint o) const { return {ns - o.ns}; }
+
+  constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+};
+
+constexpr Duration nanoseconds(std::int64_t n) { return {n}; }
+constexpr Duration microseconds(std::int64_t n) { return {n * 1000}; }
+constexpr Duration milliseconds(std::int64_t n) { return {n * 1000000}; }
+constexpr Duration seconds(std::int64_t n) { return {n * 1000000000}; }
+
+/// Duration from a floating-point count of seconds (rounds to ns).
+constexpr Duration seconds_f(double s) {
+  return {static_cast<std::int64_t>(s * 1e9)};
+}
+
+/// "12.345678s" — for logs and test diagnostics.
+std::string to_string(TimePoint t);
+std::string to_string(Duration d);
+
+}  // namespace hydranet::sim

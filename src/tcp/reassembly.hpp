@@ -1,0 +1,57 @@
+// Out-of-order segment reassembly for the TCP receive path.
+//
+// Works in 64-bit *stream offsets* (bytes since the initial sequence
+// number) rather than raw 32-bit sequence numbers, so ordering is total.
+// In ft-TCP this buffer doubles as the staging area for data that has
+// arrived but may not yet be *deposited* into the application socket
+// buffer (the acknowledgement-channel gate of §4.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace hydranet::tcp {
+
+class ReassemblyBuffer {
+ public:
+  enum class InsertResult {
+    new_data,     ///< at least one previously-unseen byte stored
+    duplicate,    ///< every byte was already present or already consumed
+    out_of_window,///< entirely outside [base, window_end): dropped
+  };
+
+  /// Stores `data` at stream offset `off`, clipped to [base, window_end).
+  InsertResult insert(std::uint64_t off, BytesView data, std::uint64_t base,
+                      std::uint64_t window_end);
+
+  /// Highest offset such that [base, result) is contiguously buffered.
+  std::uint64_t in_order_end(std::uint64_t base) const;
+
+  /// Removes and returns bytes [base, limit); requires that range to be
+  /// contiguously buffered (limit <= in_order_end(base)).
+  Bytes extract(std::uint64_t base, std::uint64_t limit);
+
+  /// Total bytes currently buffered (for window accounting).
+  std::size_t buffered() const { return bytes_; }
+
+  /// Received ranges that are NOT contiguous with `base` (i.e., isolated
+  /// islands beyond the first gap), merged and ascending — the material
+  /// for SACK blocks.  Contiguously-staged data is deliberately excluded:
+  /// in ft-TCP it is held by the deposit gate and must look unreceived to
+  /// the client, or the failure estimator loses its retransmission signal.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks_beyond(
+      std::uint64_t base, std::size_t max_blocks) const;
+
+  bool empty() const { return chunks_.empty(); }
+  void clear();
+
+ private:
+  std::map<std::uint64_t, Bytes> chunks_;  // offset -> contiguous bytes
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace hydranet::tcp

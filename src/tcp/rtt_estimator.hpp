@@ -1,0 +1,61 @@
+// RTT estimation and retransmission-timeout computation (RFC 6298 style:
+// SRTT/RTTVAR smoothing with Karn's rule applied by the caller).
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace hydranet::tcp {
+
+class RttEstimator {
+ public:
+  RttEstimator(sim::Duration min_rto, sim::Duration max_rto)
+      : min_rto_(min_rto), max_rto_(max_rto), rto_(sim::seconds(1)) {
+    clamp();
+  }
+
+  /// Feeds one round-trip sample (never from a retransmitted segment —
+  /// Karn's rule — which the connection enforces).
+  void sample(sim::Duration rtt) {
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = sim::Duration{rtt.ns / 2};
+      has_sample_ = true;
+    } else {
+      sim::Duration err{std::abs(srtt_.ns - rtt.ns)};
+      rttvar_ = sim::Duration{(3 * rttvar_.ns + err.ns) / 4};
+      srtt_ = sim::Duration{(7 * srtt_.ns + rtt.ns) / 8};
+    }
+    rto_ = sim::Duration{srtt_.ns + std::max<std::int64_t>(4 * rttvar_.ns,
+                                                           min_rto_.ns / 4)};
+    clamp();
+  }
+
+  /// Current RTO, before any exponential backoff.
+  sim::Duration rto() const { return rto_; }
+
+  /// RTO after `backoff` consecutive timeouts (doubles each time).
+  sim::Duration backed_off_rto(int backoff) const {
+    sim::Duration r = rto_;
+    for (int i = 0; i < backoff && r.ns < max_rto_.ns; ++i) r = r * 2;
+    return sim::Duration{std::min(r.ns, max_rto_.ns)};
+  }
+
+  bool has_sample() const { return has_sample_; }
+  sim::Duration srtt() const { return srtt_; }
+
+ private:
+  void clamp() {
+    rto_ = sim::Duration{std::clamp(rto_.ns, min_rto_.ns, max_rto_.ns)};
+  }
+
+  sim::Duration min_rto_;
+  sim::Duration max_rto_;
+  sim::Duration srtt_{};
+  sim::Duration rttvar_{};
+  sim::Duration rto_;
+  bool has_sample_ = false;
+};
+
+}  // namespace hydranet::tcp

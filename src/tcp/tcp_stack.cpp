@@ -1,0 +1,211 @@
+#include "tcp/tcp_stack.hpp"
+
+#include "common/logging.hpp"
+
+namespace hydranet::tcp {
+
+void TcpListener::close() {
+  if (stack_ == nullptr) return;
+  TcpStack* stack = stack_;
+  stack_ = nullptr;
+  stack->remove_listener(local_);  // destroys *this
+}
+
+TcpStack::TcpStack(ip::IpStack& ip, std::uint64_t seed)
+    : ip_(ip), rng_(seed) {
+  ip_.register_protocol(net::IpProto::tcp,
+                        [this](const net::Ipv4Header& header, Bytes payload) {
+                          on_segment_datagram(header, std::move(payload));
+                        });
+}
+
+Result<TcpListener*> TcpStack::listen(net::Ipv4Address address,
+                                      std::uint16_t port,
+                                      TcpListener::AcceptHandler on_accept,
+                                      TcpOptions options) {
+  if (port == 0) return Errc::invalid_argument;
+  if (!address.is_unspecified() && !ip_.is_local(address)) {
+    return Errc::invalid_argument;
+  }
+  net::Endpoint key{address, port};
+  if (listeners_.contains(key)) return Errc::address_in_use;
+  auto listener = std::unique_ptr<TcpListener>(
+      new TcpListener(*this, key, std::move(on_accept), options));
+  TcpListener* raw = listener.get();
+  listeners_.emplace(key, std::move(listener));
+  return raw;
+}
+
+Result<std::shared_ptr<TcpConnection>> TcpStack::connect(
+    net::Ipv4Address local_address, const net::Endpoint& remote,
+    TcpOptions options) {
+  net::Ipv4Address source = local_address.is_unspecified()
+                                ? ip_.primary_address()
+                                : local_address;
+  if (!ip_.is_local(source)) return Errc::invalid_argument;
+
+  // Pick a free ephemeral port for this (source, remote) pair.
+  std::uint16_t port = 0;
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 65535 ? 32768 : next_ephemeral_ + 1;
+    ConnectionKey probe{net::Endpoint{source, candidate}, remote};
+    if (!connections_.contains(probe)) {
+      port = candidate;
+      break;
+    }
+  }
+  if (port == 0) return Errc::address_in_use;
+
+  ConnectionKey key{net::Endpoint{source, port}, remote};
+  auto connection = std::shared_ptr<TcpConnection>(
+      new TcpConnection(*this, key, options));
+  connections_.emplace(key, connection);
+  connection->start_connect();
+  return connection;
+}
+
+void TcpStack::set_port_options(std::uint16_t port, PortOptions options) {
+  port_options_[port] = options;
+}
+
+const TcpStack::PortOptions* TcpStack::port_options(std::uint16_t port) const {
+  auto it = port_options_.find(port);
+  return it == port_options_.end() ? nullptr : &it->second;
+}
+
+std::shared_ptr<TcpConnection> TcpStack::find_connection(
+    const ConnectionKey& key) {
+  auto it = connections_.find(key);
+  return it == connections_.end() ? nullptr : it->second;
+}
+
+std::uint32_t TcpStack::generate_iss(const ConnectionKey& key,
+                                     bool deterministic) {
+  if (deterministic) return deterministic_iss(key);
+  if (iss_generator_) return iss_generator_(key);
+  return static_cast<std::uint32_t>(rng_.next());
+}
+
+void TcpStack::remove_connection(const ConnectionKey& key) {
+  auto it = connections_.find(key);
+  if (it == connections_.end()) return;
+  // Defer destruction to the next event so a connection can finish the
+  // member function that triggered its own removal.
+  std::shared_ptr<TcpConnection> doomed = it->second;
+  connections_.erase(it);
+  pending_accepts_.erase(key);
+  scheduler().schedule_after(sim::Duration{0}, [doomed] {});
+}
+
+void TcpStack::notify_established(TcpConnection& connection) {
+  auto it = pending_accepts_.find(connection.key());
+  if (it == pending_accepts_.end()) return;
+  TcpListener* listener = it->second;
+  pending_accepts_.erase(it);
+  if (listener->handler_) {
+    listener->handler_(find_connection(connection.key()));
+  }
+}
+
+void TcpStack::remove_listener(const net::Endpoint& endpoint) {
+  // Orphan any connections still waiting to be accepted on this listener.
+  TcpListener* raw = nullptr;
+  if (auto it = listeners_.find(endpoint); it != listeners_.end()) {
+    raw = it->second.get();
+  }
+  if (raw != nullptr) {
+    for (auto it = pending_accepts_.begin(); it != pending_accepts_.end();) {
+      if (it->second == raw) {
+        it = pending_accepts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  listeners_.erase(endpoint);
+}
+
+TcpListener* TcpStack::find_listener(net::Ipv4Address address,
+                                     std::uint16_t port) {
+  if (auto it = listeners_.find(net::Endpoint{address, port});
+      it != listeners_.end()) {
+    return it->second.get();
+  }
+  if (auto it = listeners_.find(net::Endpoint{net::Ipv4Address(), port});
+      it != listeners_.end()) {
+    return it->second.get();
+  }
+  return nullptr;
+}
+
+void TcpStack::send_reset_for(const net::Ipv4Header& header,
+                              const net::TcpSegment& segment) {
+  if (segment.header.rst) return;
+  net::TcpSegment rst;
+  net::TcpHeader& h = rst.header;
+  h.src_port = segment.header.dst_port;
+  h.dst_port = segment.header.src_port;
+  h.rst = true;
+  if (segment.header.ack_flag) {
+    h.seq = segment.header.ack;
+  } else {
+    h.seq = 0;
+    h.ack = segment.header.seq + segment.seq_length();
+    h.ack_flag = true;
+  }
+  net::Datagram datagram;
+  datagram.header.protocol = net::IpProto::tcp;
+  datagram.header.src = header.dst;
+  datagram.header.dst = header.src;
+  datagram.payload = net::serialize_tcp(rst, header.dst, header.src);
+  (void)ip_.send(std::move(datagram));
+}
+
+void TcpStack::on_segment_datagram(const net::Ipv4Header& header,
+                                   Bytes payload) {
+  auto parsed = net::parse_tcp(payload, header.src, header.dst);
+  if (!parsed) return;  // checksum failure: dropped silently
+  net::TcpSegment segment = std::move(parsed).value();
+
+  ConnectionKey key{net::Endpoint{header.dst, segment.header.dst_port},
+                    net::Endpoint{header.src, segment.header.src_port}};
+
+  if (auto connection = find_connection(key)) {
+    connection->on_segment(segment);  // local shared_ptr keeps it alive
+    return;
+  }
+
+  const PortOptions* port_opts = port_options(segment.header.dst_port);
+
+  // A SYN to a listening port opens a new connection.
+  if (segment.header.syn && !segment.header.ack_flag && !segment.header.rst) {
+    if (TcpListener* listener =
+            find_listener(header.dst, segment.header.dst_port)) {
+      std::uint32_t iss =
+          generate_iss(key, port_opts != nullptr && port_opts->deterministic_iss);
+      auto connection = std::shared_ptr<TcpConnection>(
+          new TcpConnection(*this, key, listener->options_));
+      if (port_opts != nullptr && port_opts->hooks != nullptr) {
+        connection->set_hooks(port_opts->hooks);
+      }
+      connections_.emplace(key, connection);
+      pending_accepts_.emplace(key, listener);
+      connection->start_passive(iss, segment);
+      return;
+    }
+  }
+
+  if (segment.header.rst) return;
+
+  // No connection, no listener took it: let the ft-TCP layer observe the
+  // orphan (pass-through reporting), then answer with RST — unless this
+  // port is a backup replica, which must never speak to the client.
+  if (port_opts != nullptr && port_opts->on_orphan_segment) {
+    port_opts->on_orphan_segment(header, segment);
+  }
+  if (port_opts != nullptr && port_opts->suppress_rst) return;
+  send_reset_for(header, segment);
+}
+
+}  // namespace hydranet::tcp

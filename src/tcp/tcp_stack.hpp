@@ -1,0 +1,132 @@
+// Per-node TCP layer: segment demultiplexing, listeners, active opens, and
+// the per-port replication options that realise the paper's setportopt()
+// system call (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "ip/ip_stack.hpp"
+#include "net/address.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tcp/tcp_types.hpp"
+
+namespace hydranet::tcp {
+
+class TcpStack;
+
+/// A passive (listening) socket.
+class TcpListener {
+ public:
+  using AcceptHandler =
+      std::function<void(std::shared_ptr<TcpConnection> connection)>;
+
+  net::Endpoint local() const { return local_; }
+  void close();
+
+ private:
+  friend class TcpStack;
+  TcpListener(TcpStack& stack, net::Endpoint local, AcceptHandler handler,
+              TcpOptions options)
+      : stack_(&stack),
+        local_(local),
+        handler_(std::move(handler)),
+        options_(options) {}
+
+  TcpStack* stack_;
+  net::Endpoint local_;
+  AcceptHandler handler_;
+  TcpOptions options_;
+};
+
+/// Replication mode of a TCP port (the paper's setportopt()).
+enum class ReplicaMode { none, primary, backup };
+
+class TcpStack {
+ public:
+  /// Per-port options installed by the ft-TCP layer.
+  struct PortOptions {
+    ReplicaMode mode = ReplicaMode::none;
+    /// Gating hooks installed on every connection of this port.
+    TcpConnectionHooks* hooks = nullptr;
+    /// Derive the ISS deterministically from the 4-tuple so replicas share
+    /// one server-side sequence space.
+    bool deterministic_iss = false;
+    /// Backups must stay silent: never RST a client segment that matches
+    /// no connection (the primary speaks for the group).
+    bool suppress_rst = false;
+    /// Fired for a segment on this port that matches no connection (and
+    /// opened none).  The ft-TCP layer uses this for pass-through reports:
+    /// a freshly re-commissioned backup that does not know a connection
+    /// must not stall its predecessor's gates.
+    std::function<void(const net::Ipv4Header& header,
+                       const net::TcpSegment& segment)>
+        on_orphan_segment;
+  };
+
+  TcpStack(ip::IpStack& ip, std::uint64_t seed);
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Starts listening on (address, port); `address` may be unspecified
+  /// (wildcard) or any local address/alias, including virtual hosts.
+  Result<TcpListener*> listen(net::Ipv4Address address, std::uint16_t port,
+                              TcpListener::AcceptHandler on_accept,
+                              TcpOptions options = {});
+
+  /// Active open to `remote`; `local_address` unspecified picks the node's
+  /// primary address.  The returned connection is shared with the stack.
+  Result<std::shared_ptr<TcpConnection>> connect(net::Ipv4Address local_address,
+                                                 const net::Endpoint& remote,
+                                                 TcpOptions options = {});
+
+  /// Overrides the random ISS for non-replicated connections (test and
+  /// experiment support, e.g. forcing sequence-number wrap-around).
+  /// Replicated ports keep their deterministic 4-tuple derivation.
+  void set_iss_generator(IssGenerator generator) {
+    iss_generator_ = std::move(generator);
+  }
+
+  /// The paper's setportopt(): marks `port` as replicated and installs the
+  /// gating hooks for its connections.
+  void set_port_options(std::uint16_t port, PortOptions options);
+  const PortOptions* port_options(std::uint16_t port) const;
+
+  std::shared_ptr<TcpConnection> find_connection(const ConnectionKey& key);
+  std::size_t connection_count() const { return connections_.size(); }
+
+  ip::IpStack& ip() { return ip_; }
+  sim::Scheduler& scheduler() { return ip_.scheduler(); }
+
+  // --- internal interface used by TcpConnection/TcpListener ---
+  std::uint32_t generate_iss(const ConnectionKey& key, bool deterministic);
+  void remove_connection(const ConnectionKey& key);
+  void notify_established(TcpConnection& connection);
+  void remove_listener(const net::Endpoint& endpoint);
+
+ private:
+  void on_segment_datagram(const net::Ipv4Header& header, Bytes payload);
+  TcpListener* find_listener(net::Ipv4Address address, std::uint16_t port);
+  void send_reset_for(const net::Ipv4Header& header,
+                      const net::TcpSegment& segment);
+
+  ip::IpStack& ip_;
+  Rng rng_;
+  IssGenerator iss_generator_;
+  std::unordered_map<ConnectionKey, std::shared_ptr<TcpConnection>,
+                     ConnectionKeyHash>
+      connections_;
+  std::unordered_map<net::Endpoint, std::unique_ptr<TcpListener>> listeners_;
+  std::unordered_map<std::uint16_t, PortOptions> port_options_;
+  // Connections awaiting their accept callback, keyed by connection.
+  std::unordered_map<ConnectionKey, TcpListener*, ConnectionKeyHash>
+      pending_accepts_;
+  std::uint16_t next_ephemeral_ = 32768;
+};
+
+}  // namespace hydranet::tcp

@@ -1,0 +1,127 @@
+#include "testbed/testbed.hpp"
+
+namespace hydranet::testbed {
+
+namespace {
+net::Ipv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d) {
+  return net::Ipv4Address(a, b, c, d);
+}
+}  // namespace
+
+const char* to_string(Setup setup) {
+  switch (setup) {
+    case Setup::clean: return "clean kernel";
+    case Setup::no_redirection: return "no redirection";
+    case Setup::primary_only: return "primary only";
+    case Setup::primary_backup: return "primary and backup";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config), net_(config.seed) {
+  const int servers =
+      config_.setup == Setup::primary_backup ? 1 + config_.backups : 1;
+
+  client_ = &net_.add_host("client");
+  redirector_host_ = &net_.add_host("redirector");
+  for (int i = 0; i < servers; ++i) {
+    servers_.push_back(&net_.add_host("server" + std::to_string(i + 1)));
+  }
+
+  link::Link::Config link_config;
+  link_config.bandwidth_bps = config_.link_bandwidth_bps;
+  link_config.propagation = config_.link_delay;
+  link_config.queue_capacity_packets = config_.link_queue_packets;
+
+  // client <-> redirector on 10.0.1.0/24.
+  client_link_ = &net_.connect(*client_, ip(10, 0, 1, 2), *redirector_host_,
+                               ip(10, 0, 1, 1), 24, link_config, config_.mtu);
+  // redirector <-> server i on 10.0.(2+i).0/24.
+  for (int i = 0; i < servers; ++i) {
+    auto subnet = static_cast<std::uint8_t>(2 + i);
+    server_links_.push_back(&net_.connect(
+        *redirector_host_, ip(10, 0, subnet, 1), *servers_[i],
+        ip(10, 0, subnet, 2), 24, link_config, config_.mtu));
+  }
+
+  deploy();
+}
+
+net::Ipv4Address Testbed::server_address(std::size_t index) const {
+  return ip(10, 0, static_cast<std::uint8_t>(2 + index), 2);
+}
+
+void Testbed::deploy() {
+  const bool modified = config_.setup != Setup::clean;
+
+  // CPU models: 486 client & redirector, Pentium/120 servers; the modified
+  // kernel costs a few percent extra on the boxes that run it.
+  link::CpuModel client_cpu = config_.cpu_486;
+  link::CpuModel redirector_cpu = config_.cpu_486_router;
+  link::CpuModel server_cpu = config_.cpu_pentium;
+  if (modified) {
+    redirector_cpu.scale *= config_.modified_kernel_factor;
+    server_cpu.scale *= config_.modified_kernel_factor;
+  }
+  client_->set_cpu_model(client_cpu);
+  redirector_host_->set_cpu_model(redirector_cpu);
+  for (host::Host* server : servers_) server->set_cpu_model(server_cpu);
+
+  // Routing.
+  net::Ipv4Address redirector_client_side = ip(10, 0, 1, 1);
+  client_->ip().add_default_route(redirector_client_side,
+                                  /*interface*/ nullptr);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->ip().add_default_route(
+        ip(10, 0, static_cast<std::uint8_t>(2 + i), 1), nullptr);
+  }
+  // The service address lives "behind" server1's subnet (the origin host).
+  redirector_host_->ip().add_route(config_.service.address, 32,
+                                   server_address(0), nullptr);
+
+  switch (config_.setup) {
+    case Setup::clean:
+    case Setup::no_redirection:
+      // The service runs directly on server1 under the service address
+      // (plain IP alias; no redirection, no replication machinery).
+      servers_[0]->ip().add_local_alias(config_.service.address);
+      return;
+
+    case Setup::primary_only: {
+      redirector_ = std::make_unique<redirector::Redirector>(*redirector_host_);
+      redirector_agent_ = std::make_unique<mgmt::RedirectorAgent>(
+          *redirector_host_, *redirector_);
+      auto agent = std::make_unique<mgmt::HostAgent>(*servers_[0],
+                                                     ip(10, 0, 2, 1));
+      agent->install_replica(config_.service, tcp::ReplicaMode::primary,
+                             config_.detector,
+                             config_.ftcp_refresh_interval);
+      agents_.push_back(std::move(agent));
+      break;
+    }
+
+    case Setup::primary_backup: {
+      redirector_ = std::make_unique<redirector::Redirector>(*redirector_host_);
+      redirector_agent_ = std::make_unique<mgmt::RedirectorAgent>(
+          *redirector_host_, *redirector_);
+      for (std::size_t i = 0; i < servers_.size(); ++i) {
+        auto agent = std::make_unique<mgmt::HostAgent>(
+            *servers_[i], ip(10, 0, static_cast<std::uint8_t>(2 + i), 1));
+        agent->install_replica(config_.service,
+                               i == 0 ? tcp::ReplicaMode::primary
+                                      : tcp::ReplicaMode::backup,
+                               config_.detector,
+                               config_.ftcp_refresh_interval);
+        agents_.push_back(std::move(agent));
+      }
+      break;
+    }
+  }
+
+  // Let registrations and chain wiring settle before traffic starts.
+  net_.run_for(sim::seconds(2));
+}
+
+}  // namespace hydranet::testbed

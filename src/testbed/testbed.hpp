@@ -1,0 +1,105 @@
+// The paper's measurement testbed (§5), as a reusable simulated topology:
+//
+//     client (486) --- redirector (486) ---+--- server1 (Pentium/120)
+//                                          +--- server2 (Pentium/120)
+//                                          +--- ... (extra backups)
+//
+// The paper "purposely used slow machines to measure the effects of
+// bottlenecks"; the CPU models below reproduce that: per-packet header
+// processing dominates at small write sizes, per-byte costs at large ones,
+// and the 486 redirector is the choke point once redirection multiplies
+// its work.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "host/network.hpp"
+#include "mgmt/host_agent.hpp"
+#include "mgmt/redirector_agent.hpp"
+#include "redirector/redirector.hpp"
+
+namespace hydranet::testbed {
+
+/// Which of the paper's four measurement configurations to stand up.
+enum class Setup {
+  clean,           ///< stock software, service on server1 directly
+  no_redirection,  ///< HydraNet-FT software installed, path unchanged
+  primary_only,    ///< redirection to a single primary replica
+  primary_backup,  ///< redirection + fault-tolerant chain with backups
+};
+
+const char* to_string(Setup setup);
+
+struct TestbedConfig {
+  Setup setup = Setup::primary_backup;
+  int backups = 1;  ///< used by primary_backup
+  net::Endpoint service{net::Ipv4Address(192, 20, 225, 20), 5001};
+  std::uint64_t seed = 42;
+
+  // --- hardware models (calibrated against Figure 4's shape) ---
+  double link_bandwidth_bps = 10e6;  ///< 10 Mb/s Ethernet
+  sim::Duration link_delay = sim::microseconds(50);
+  std::size_t link_queue_packets = 64;
+  std::size_t mtu = 1500;
+  link::CpuModel cpu_486{sim::microseconds(250), sim::nanoseconds(1200), 1.0};
+  link::CpuModel cpu_pentium{sim::microseconds(100), sim::nanoseconds(500),
+                             1.0};
+  /// The 486 acting as a router: kernel forwarding touches each byte far
+  /// less than an end-host stack (no socket copies, no checksum of
+  /// payload into user space), so its per-byte cost is lower while the
+  /// per-packet (header/interrupt) cost is the same 486's.
+  link::CpuModel cpu_486_router{sim::microseconds(250), sim::nanoseconds(500),
+                                1.0};
+  /// Extra per-packet work of the HydraNet-FT modified kernel, applied to
+  /// the redirector and servers in all setups except `clean`.
+  double modified_kernel_factor = 1.06;
+
+  ftcp::DetectorParams detector{};
+  /// Backup-to-predecessor re-announcement period on the ack channel.
+  sim::Duration ftcp_refresh_interval = sim::milliseconds(50);
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  host::Network& net() { return net_; }
+  sim::Scheduler& scheduler() { return net_.scheduler(); }
+  const TestbedConfig& config() const { return config_; }
+
+  host::Host& client() { return *client_; }
+  host::Host& redirector_host() { return *redirector_host_; }
+  host::Host& server(std::size_t index) { return *servers_.at(index); }
+  std::size_t server_count() const { return servers_.size(); }
+
+  redirector::Redirector& redirector() { return *redirector_; }
+  mgmt::RedirectorAgent& redirector_agent() { return *redirector_agent_; }
+  mgmt::HostAgent& agent(std::size_t index) { return *agents_.at(index); }
+
+  /// Address of server `index` (servers_[0] is the primary).
+  net::Ipv4Address server_address(std::size_t index) const;
+
+  /// Link between the redirector and server `index` (failure injection).
+  link::Link& server_link(std::size_t index) { return *server_links_.at(index); }
+  link::Link& client_link() { return *client_link_; }
+
+  /// Crashes server `index` fail-stop.
+  void crash_server(std::size_t index) { servers_.at(index)->crash(); }
+
+ private:
+  void deploy();
+
+  TestbedConfig config_;
+  host::Network net_;
+  host::Host* client_ = nullptr;
+  host::Host* redirector_host_ = nullptr;
+  std::vector<host::Host*> servers_;
+  link::Link* client_link_ = nullptr;
+  std::vector<link::Link*> server_links_;
+  std::unique_ptr<redirector::Redirector> redirector_;
+  std::unique_ptr<mgmt::RedirectorAgent> redirector_agent_;
+  std::vector<std::unique_ptr<mgmt::HostAgent>> agents_;
+};
+
+}  // namespace hydranet::testbed

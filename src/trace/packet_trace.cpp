@@ -1,0 +1,135 @@
+#include "trace/packet_trace.hpp"
+
+#include <cstdio>
+
+#include "net/tunnel.hpp"
+#include "net/udp_header.hpp"
+
+namespace hydranet::trace {
+
+namespace {
+
+const char* proto_name(net::IpProto proto) {
+  switch (proto) {
+    case net::IpProto::ipip: return "IPIP";
+    case net::IpProto::tcp: return "TCP";
+    case net::IpProto::udp: return "UDP";
+  }
+  return "IP";
+}
+
+}  // namespace
+
+std::optional<TraceEntry> decode_frame(BytesView frame) {
+  auto parsed = net::Datagram::parse(frame);
+  if (!parsed) return std::nullopt;
+  net::Datagram datagram = std::move(parsed).value();
+
+  TraceEntry entry;
+  if (datagram.header.protocol == net::IpProto::ipip) {
+    auto inner = net::decapsulate_ipip(datagram);
+    if (inner) {
+      entry.tunnelled = true;
+      entry.tunnel_dst = datagram.header.dst;
+      datagram = std::move(inner).value();
+    }
+  }
+
+  entry.src = datagram.header.src;
+  entry.dst = datagram.header.dst;
+  entry.protocol = datagram.header.protocol;
+  entry.fragment = datagram.header.is_fragment();
+  entry.payload_bytes = datagram.payload.size();
+
+  // Transport headers live in the first fragment only.
+  if (datagram.header.fragment_offset != 0) return entry;
+
+  if (datagram.header.protocol == net::IpProto::tcp) {
+    auto segment = net::parse_tcp(datagram.payload, datagram.header.src,
+                                  datagram.header.dst);
+    if (segment) {
+      const net::TcpHeader& h = segment.value().header;
+      entry.src_port = h.src_port;
+      entry.dst_port = h.dst_port;
+      entry.tcp_flags = h.flags_string();
+      entry.seq = h.seq;
+      entry.ack = h.ack;
+      entry.window = h.window;
+      entry.payload_bytes = segment.value().payload.size();
+    }
+  } else if (datagram.header.protocol == net::IpProto::udp) {
+    auto udp = net::parse_udp(datagram.payload, datagram.header.src,
+                              datagram.header.dst);
+    if (udp) {
+      entry.src_port = udp.value().header.src_port;
+      entry.dst_port = udp.value().header.dst_port;
+      entry.payload_bytes = udp.value().payload.size();
+    }
+  }
+  return entry;
+}
+
+std::string TraceEntry::to_string() const {
+  char head[160];
+  std::snprintf(head, sizeof head, "%11.6f %-8s %s:%u > %s:%u %s%s%s",
+                at.seconds(), link.c_str(), src.to_string().c_str(), src_port,
+                dst.to_string().c_str(), dst_port, proto_name(protocol),
+                tunnelled ? " (tunnelled)" : "",
+                fragment ? " frag" : "");
+  std::string out = head;
+  if (protocol == net::IpProto::tcp && !tcp_flags.empty()) {
+    char tcp[96];
+    std::snprintf(tcp, sizeof tcp, " %s seq=%u ack=%u win=%u len=%zu",
+                  tcp_flags.c_str(), seq, ack, window, payload_bytes);
+    out += tcp;
+  } else {
+    out += " len=" + std::to_string(payload_bytes);
+  }
+  return out;
+}
+
+bool TraceFilter::matches(const TraceEntry& entry) const {
+  if (protocol && entry.protocol != *protocol) return false;
+  if (host && entry.src != *host && entry.dst != *host) return false;
+  if (port && entry.src_port != *port && entry.dst_port != *port) {
+    return false;
+  }
+  return true;
+}
+
+void PacketTrace::attach(link::Link& link, const std::string& label) {
+  link.set_tap([this, label](const link::NetworkInterface&,
+                             const Bytes& frame) { record(label, frame); });
+}
+
+void PacketTrace::record(const std::string& label, const Bytes& frame) {
+  auto entry = decode_frame(frame);
+  if (!entry) return;
+  entry->at = scheduler_.now();
+  entry->link = label;
+  if (!filter_.matches(*entry)) return;
+  if (entries_.size() >= max_entries_) {
+    dropped_++;
+    return;
+  }
+  entries_.push_back(std::move(*entry));
+}
+
+std::vector<TraceEntry> PacketTrace::select(const TraceFilter& filter) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& entry : entries_) {
+    if (filter.matches(entry)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::string PacketTrace::dump() const {
+  std::string out;
+  for (const TraceEntry& entry : entries_) {
+    out += entry.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hydranet::trace

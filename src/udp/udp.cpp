@@ -1,0 +1,125 @@
+#include "udp/udp.hpp"
+
+#include "net/udp_header.hpp"
+
+namespace hydranet::udp {
+
+Status UdpSocket::send_to(const net::Endpoint& dst, BytesView data) {
+  return send_from_to(local_.address, dst, data);
+}
+
+Status UdpSocket::send_from_to(net::Ipv4Address src, const net::Endpoint& dst,
+                               BytesView data) {
+  if (!open_) return Errc::closed;
+  return stack_->send(src, local_, dst, data);
+}
+
+Result<UdpSocket::Received> UdpSocket::recv() {
+  if (!open_) return Errc::closed;
+  if (queue_.empty()) return Errc::would_block;
+  Received r = std::move(queue_.front());
+  queue_.pop_front();
+  return r;
+}
+
+void UdpSocket::set_rx_handler(RxHandler handler) {
+  rx_handler_ = std::move(handler);
+  while (rx_handler_ && !queue_.empty()) {
+    Received r = std::move(queue_.front());
+    queue_.pop_front();
+    rx_handler_(r.from, std::move(r.data));
+  }
+}
+
+void UdpSocket::deliver(const net::Endpoint& from, Bytes data) {
+  if (!open_) return;
+  if (rx_handler_) {
+    rx_handler_(from, std::move(data));
+    return;
+  }
+  if (queue_.size() >= kMaxQueued) {
+    dropped_++;
+    return;
+  }
+  queue_.push_back(Received{from, std::move(data)});
+}
+
+void UdpSocket::close() {
+  if (!open_) return;
+  open_ = false;
+  stack_->unbind(local_);  // destroys *this; no member access past here
+}
+
+UdpStack::UdpStack(ip::IpStack& ip) : ip_(ip) {
+  ip_.register_protocol(net::IpProto::udp,
+                        [this](const net::Ipv4Header& header, Bytes payload) {
+                          on_datagram(header, std::move(payload));
+                        });
+}
+
+Result<UdpSocket*> UdpStack::bind(net::Ipv4Address address,
+                                  std::uint16_t port) {
+  if (!address.is_unspecified() && !ip_.is_local(address)) {
+    return Errc::invalid_argument;
+  }
+  if (port == 0) {
+    // Find a free ephemeral port (checks wildcard slot only; ephemeral
+    // binds are always wildcard-address in this stack's clients).
+    for (int attempts = 0; attempts < 16384; ++attempts) {
+      std::uint16_t candidate = next_ephemeral_;
+      next_ephemeral_ =
+          next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
+      if (!sockets_.contains(net::Endpoint{address, candidate})) {
+        port = candidate;
+        break;
+      }
+    }
+    if (port == 0) return Errc::address_in_use;
+  }
+  net::Endpoint key{address, port};
+  if (sockets_.contains(key)) return Errc::address_in_use;
+  auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, key));
+  UdpSocket* raw = socket.get();
+  sockets_.emplace(key, std::move(socket));
+  return raw;
+}
+
+void UdpStack::unbind(const net::Endpoint& endpoint) {
+  sockets_.erase(endpoint);
+}
+
+Status UdpStack::send(net::Ipv4Address src, const net::Endpoint& local,
+                      const net::Endpoint& dst, BytesView data) {
+  if (data.size() > 65507) return Errc::message_too_big;
+  net::Ipv4Address source =
+      src.is_unspecified() ? ip_.primary_address() : src;
+  net::UdpHeader header;
+  header.src_port = local.port;
+  header.dst_port = dst.port;
+  net::Datagram datagram;
+  datagram.header.protocol = net::IpProto::udp;
+  datagram.header.src = source;
+  datagram.header.dst = dst.address;
+  datagram.payload = net::serialize_udp(header, data, source, dst.address);
+  return ip_.send(std::move(datagram));
+}
+
+void UdpStack::on_datagram(const net::Ipv4Header& header, Bytes payload) {
+  auto parsed = net::parse_udp(payload, header.src, header.dst);
+  if (!parsed) return;  // bad checksum / truncated: dropped silently
+  auto& datagram = parsed.value();
+
+  // Exact (address, port) match wins; otherwise the wildcard bind.
+  auto it = sockets_.find(net::Endpoint{header.dst, datagram.header.dst_port});
+  if (it == sockets_.end()) {
+    it = sockets_.find(net::Endpoint{net::Ipv4Address(), datagram.header.dst_port});
+  }
+  if (it == sockets_.end()) {
+    if (unbound_handler_) unbound_handler_(header, payload);
+    return;  // no listener
+  }
+  it->second->deliver(net::Endpoint{header.src, datagram.header.src_port},
+                      std::move(datagram.payload));
+}
+
+}  // namespace hydranet::udp

@@ -1,0 +1,109 @@
+// UDP: connectionless datagram sockets over the IP layer.
+//
+// Used by HydraNet-FT for the acknowledgement channel between replicas and
+// for the replica-management daemons.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "ip/ip_stack.hpp"
+#include "net/address.hpp"
+
+namespace hydranet::udp {
+
+class UdpStack;
+
+/// A bound UDP socket.  Datagrams can be consumed either by polling recv()
+/// or by installing an rx handler (event-driven, what the daemons use).
+class UdpSocket {
+ public:
+  struct Received {
+    net::Endpoint from;
+    Bytes data;
+  };
+  using RxHandler = std::function<void(const net::Endpoint& from, Bytes data)>;
+
+  /// Sends `data` to `dst`.  The source address is the bound address, or
+  /// the node's primary address for wildcard binds.
+  Status send_to(const net::Endpoint& dst, BytesView data);
+
+  /// As send_to, but with an explicit source address (virtual hosts reply
+  /// from the service address, not the host server's own).
+  Status send_from_to(net::Ipv4Address src, const net::Endpoint& dst,
+                      BytesView data);
+
+  /// Pops the oldest queued datagram, or would_block.
+  Result<Received> recv();
+
+  /// Installs an event handler; queued datagrams are drained into it.
+  void set_rx_handler(RxHandler handler);
+
+  net::Endpoint local() const { return local_; }
+  bool is_open() const { return open_; }
+
+  /// Unbinds the socket; further operations fail with closed.
+  void close();
+
+  std::uint64_t datagrams_dropped() const { return dropped_; }
+
+ private:
+  friend class UdpStack;
+  UdpSocket(UdpStack& stack, net::Endpoint local)
+      : stack_(&stack), local_(local) {}
+
+  void deliver(const net::Endpoint& from, Bytes data);
+
+  UdpStack* stack_;
+  net::Endpoint local_;
+  bool open_ = true;
+  RxHandler rx_handler_;
+  std::deque<Received> queue_;
+  static constexpr std::size_t kMaxQueued = 256;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The per-node UDP layer: binds, demultiplexes, owns sockets.
+class UdpStack {
+ public:
+  explicit UdpStack(ip::IpStack& ip);
+
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  /// Binds to (address, port).  `address` may be unspecified (wildcard:
+  /// matches any local address, including virtual-host aliases) and `port`
+  /// may be 0 (an ephemeral port is assigned).  The returned socket is
+  /// owned by the stack and stays valid until close().
+  Result<UdpSocket*> bind(net::Ipv4Address address, std::uint16_t port);
+
+  /// Fired for datagrams to a port nobody listens on (the ICMP layer uses
+  /// this to emit port-unreachable errors).
+  using UnboundHandler =
+      std::function<void(const net::Ipv4Header& header, const Bytes& payload)>;
+  void set_unbound_handler(UnboundHandler handler) {
+    unbound_handler_ = std::move(handler);
+  }
+
+  ip::IpStack& ip() { return ip_; }
+
+ private:
+  friend class UdpSocket;
+
+  void on_datagram(const net::Ipv4Header& header, Bytes payload);
+  void unbind(const net::Endpoint& endpoint);
+  Status send(net::Ipv4Address src, const net::Endpoint& local,
+              const net::Endpoint& dst, BytesView data);
+
+  ip::IpStack& ip_;
+  std::unordered_map<net::Endpoint, std::unique_ptr<UdpSocket>> sockets_;
+  UnboundHandler unbound_handler_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace hydranet::udp

@@ -1,0 +1,227 @@
+// Workload-application tests: ttcp, mini-HTTP, streaming, brokerage.
+#include <gtest/gtest.h>
+
+#include "apps/http.hpp"
+#include "apps/session.hpp"
+#include "apps/stream.hpp"
+#include "test_util.hpp"
+
+namespace hydranet::apps {
+namespace {
+
+using testutil::ip;
+using testutil::Pair;
+
+TEST(TtcpPattern, DeterministicAndOffsetDependent) {
+  Bytes a = ttcp_pattern(64, 0);
+  Bytes b = ttcp_pattern(64, 0);
+  EXPECT_EQ(a, b);
+  Bytes shifted = ttcp_pattern(64, 32);
+  // The tail of `a` equals the head of `shifted`: position-dependent.
+  Bytes a_tail(a.begin() + 32, a.end());
+  Bytes s_head(shifted.begin(), shifted.begin() + 32);
+  EXPECT_EQ(a_tail, s_head);
+  EXPECT_NE(a, shifted);
+}
+
+TEST(Fnv1a, KnownVectorAndComposability) {
+  // FNV-1a of "a" is a published constant.
+  Bytes a{'a'};
+  EXPECT_EQ(fnv1a(a), 0xaf63dc4c8601ec8cull);
+  // Hashing in chunks equals hashing the whole.
+  Bytes data = ttcp_pattern(1000, 0);
+  std::uint64_t whole = fnv1a(data);
+  std::uint64_t split = fnv1a(BytesView(data).subspan(400),
+                              fnv1a(BytesView(data).subspan(0, 400)));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(PeriodOptions, EncodeTheEraTuning) {
+  tcp::TcpOptions options = period_tcp_options();
+  EXPECT_TRUE(options.nodelay);
+  EXPECT_TRUE(options.packetize_writes);
+  EXPECT_EQ(options.min_rto.ns, sim::seconds(1).ns);
+  EXPECT_EQ(options.send_buffer_capacity, 16u * 1024);
+  EXPECT_EQ(options.recv_buffer_capacity, 16u * 1024);
+}
+
+TEST(Ttcp, TransmitterReceiverRoundTrip) {
+  Pair pair;
+  TtcpReceiver receiver(pair.b, net::Ipv4Address(), 5001);
+  TtcpTransmitter::Config config;
+  config.server = {ip(10, 0, 0, 2), 5001};
+  config.total_bytes = 200 * 1024;
+  config.write_size = 512;
+  TtcpTransmitter transmitter(pair.a, config);
+  ASSERT_TRUE(transmitter.start().ok());
+  pair.net.run();
+
+  EXPECT_TRUE(transmitter.report().finished);
+  EXPECT_FALSE(transmitter.report().failed);
+  ASSERT_EQ(receiver.reports().size(), 1u);
+  const auto& report = receiver.reports().front();
+  EXPECT_TRUE(report.eof);
+  EXPECT_EQ(report.bytes_received, config.total_bytes);
+  EXPECT_EQ(report.checksum, fnv1a(ttcp_pattern(config.total_bytes, 0)));
+  EXPECT_GT(report.throughput_kBps(), 0.0);
+}
+
+TEST(Ttcp, TransmitterReportsFailureWhenServerVanishes) {
+  Pair pair;
+  TtcpReceiver receiver(pair.b, net::Ipv4Address(), 5001);
+  TtcpTransmitter::Config config;
+  config.server = {ip(10, 0, 0, 2), 5001};
+  config.total_bytes = 4 * 1024 * 1024;
+  config.tcp.max_retransmits = 4;
+  config.tcp.max_rto = sim::seconds(2);
+  TtcpTransmitter transmitter(pair.a, config);
+  ASSERT_TRUE(transmitter.start().ok());
+  pair.net.run_for(sim::milliseconds(300));
+  pair.b.crash();
+  pair.net.run_for(sim::seconds(30));
+  EXPECT_TRUE(transmitter.report().failed);
+  EXPECT_FALSE(transmitter.report().finished);
+}
+
+TEST(Http, SingleRequestResponseVerified) {
+  Pair pair;
+  HttpServer server(pair.b, {.listen_address = net::Ipv4Address(),
+                             .port = 80,
+                             .default_body_size = 1024});
+  HttpClient client(pair.a, {.server = {ip(10, 0, 0, 2), 80},
+                             .paths = {"/index.html"}});
+  ASSERT_TRUE(client.start().ok());
+  pair.net.run();
+  EXPECT_EQ(client.report().responses, 1u);
+  EXPECT_TRUE(client.report().all_ok);
+  EXPECT_EQ(client.report().body_bytes, 1024u);
+  EXPECT_EQ(server.requests_served(), 1u);
+  ASSERT_EQ(client.report().latencies.size(), 1u);
+  EXPECT_GT(client.report().latencies[0].ns, 0);
+}
+
+TEST(Http, KeepAliveServesManyRequestsOnOneConnection) {
+  Pair pair;
+  HttpServer server(pair.b, {.listen_address = net::Ipv4Address(),
+                             .port = 80,
+                             .default_body_size = 2048});
+  std::vector<std::string> paths;
+  for (int i = 0; i < 25; ++i) paths.push_back("/page" + std::to_string(i));
+  HttpClient client(pair.a, {.server = {ip(10, 0, 0, 2), 80}, .paths = paths});
+  ASSERT_TRUE(client.start().ok());
+  pair.net.run();
+  EXPECT_EQ(client.report().responses, 25u);
+  EXPECT_TRUE(client.report().all_ok);
+  EXPECT_EQ(server.requests_served(), 25u);
+  EXPECT_EQ(server.connections_accepted(), 1u);  // keep-alive
+}
+
+TEST(Http, BodiesAreDeterministicPerPath) {
+  Bytes a1 = http_body_for("/a", 512);
+  Bytes a2 = http_body_for("/a", 512);
+  Bytes b = http_body_for("/b", 512);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(Streaming, FixedRateStreamArrivesIntact) {
+  Pair pair;
+  StreamingSource::Config source_config;
+  source_config.listen_address = net::Ipv4Address();
+  source_config.port = 8000;
+  source_config.chunk_size = 1000;
+  source_config.interval = sim::milliseconds(5);
+  source_config.total_bytes = 200 * 1024;
+  StreamingSource source(pair.b, source_config);
+
+  StreamingSink::Config sink_config;
+  sink_config.server = {ip(10, 0, 0, 2), 8000};
+  StreamingSink sink(pair.a, sink_config);
+  ASSERT_TRUE(sink.start().ok());
+  pair.net.run();
+
+  EXPECT_TRUE(sink.report().eof);
+  EXPECT_EQ(sink.report().bytes, source_config.total_bytes);
+  EXPECT_EQ(sink.report().checksum,
+            fnv1a(ttcp_pattern(source_config.total_bytes, 0)));
+  // A healthy path shows no stalls above the default threshold.
+  EXPECT_TRUE(sink.report().stalls.empty());
+}
+
+TEST(Streaming, SinkRecordsStallWhenLinkBlips) {
+  Pair pair;
+  StreamingSource::Config source_config;
+  source_config.listen_address = net::Ipv4Address();
+  source_config.port = 8000;
+  source_config.chunk_size = 1000;
+  source_config.interval = sim::milliseconds(5);
+  source_config.total_bytes = 400 * 1024;
+  StreamingSource source(pair.b, source_config);
+
+  StreamingSink::Config sink_config;
+  sink_config.server = {ip(10, 0, 0, 2), 8000};
+  sink_config.stall_threshold = sim::milliseconds(150);
+  StreamingSink sink(pair.a, sink_config);
+  ASSERT_TRUE(sink.start().ok());
+
+  pair.net.run_for(sim::milliseconds(300));
+  pair.link.set_down(true);
+  pair.net.run_for(sim::milliseconds(800));
+  pair.link.set_down(false);
+  pair.net.run_for(sim::seconds(120));
+
+  EXPECT_TRUE(sink.report().eof);
+  EXPECT_EQ(sink.report().bytes, source_config.total_bytes);
+  ASSERT_FALSE(sink.report().stalls.empty());
+  EXPECT_GE(sink.report().max_gap.ns, sim::milliseconds(700).ns);
+}
+
+TEST(Brokerage, SessionStateAccumulatesCorrectly) {
+  Pair pair;
+  BrokerageServer server(pair.b, {.listen_address = net::Ipv4Address(),
+                                  .port = 9100});
+  BrokerageClient::Config config;
+  config.server = {ip(10, 0, 0, 2), 9100};
+  config.orders = {5, -2, 7, -4, 10, 1, -1, 3};
+  config.think_time = sim::milliseconds(5);
+  BrokerageClient client(pair.a, config);
+  ASSERT_TRUE(client.start().ok());
+  pair.net.run();
+
+  EXPECT_TRUE(client.report().done);
+  EXPECT_FALSE(client.report().failed);
+  EXPECT_TRUE(client.report().consistent);
+  EXPECT_EQ(client.report().executions, config.orders.size());
+  EXPECT_EQ(client.report().final_sequence,
+            static_cast<std::int64_t>(config.orders.size()));
+  EXPECT_EQ(client.report().final_position, 19);
+  EXPECT_EQ(server.orders_executed(), config.orders.size());
+}
+
+TEST(Brokerage, TwoIndependentSessionsKeepSeparateState) {
+  Pair pair;
+  BrokerageServer server(pair.b, {.listen_address = net::Ipv4Address(),
+                                  .port = 9100});
+  BrokerageClient::Config c1;
+  c1.server = {ip(10, 0, 0, 2), 9100};
+  c1.orders = {100, 100};
+  c1.think_time = sim::milliseconds(3);
+  BrokerageClient client1(pair.a, c1);
+  BrokerageClient::Config c2;
+  c2.server = {ip(10, 0, 0, 2), 9100};
+  c2.orders = {-7, -7, -7};
+  c2.think_time = sim::milliseconds(3);
+  BrokerageClient client2(pair.a, c2);
+  ASSERT_TRUE(client1.start().ok());
+  ASSERT_TRUE(client2.start().ok());
+  pair.net.run();
+
+  EXPECT_TRUE(client1.report().consistent);
+  EXPECT_TRUE(client2.report().consistent);
+  EXPECT_EQ(client1.report().final_position, 200);
+  EXPECT_EQ(client2.report().final_position, -21);
+  EXPECT_EQ(server.orders_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace hydranet::apps

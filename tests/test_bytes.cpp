@@ -1,0 +1,139 @@
+// Unit tests for the byte-buffer reader/writer and the Internet checksum.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace hydranet {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianScalars) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ull);
+  ASSERT_EQ(out.size(), 15u);
+  EXPECT_EQ(out[0], 0xab);
+  EXPECT_EQ(out[1], 0x12);
+  EXPECT_EQ(out[2], 0x34);
+  EXPECT_EQ(out[3], 0xde);
+  EXPECT_EQ(out[6], 0xef);
+  EXPECT_EQ(out[7], 0x01);
+  EXPECT_EQ(out[14], 0x08);
+}
+
+TEST(ByteReader, RoundTripsAllScalarWidths) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0x89abcdef);
+  w.u64(0xfedcba9876543210ull);
+  w.str16("hello");
+
+  ByteReader r(out);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0x89abcdefu);
+  EXPECT_EQ(r.u64(), 0xfedcba9876543210ull);
+  EXPECT_EQ(r.str16(), "hello");
+  EXPECT_FALSE(r.truncated());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, OverrunSetsStickyTruncatedFlag) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_EQ(r.u32(), 0u);  // past the end
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.u8(), 0u);  // still truncated
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(ByteReader, RawAndSkipRespectBounds) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  Bytes head = r.raw(2);
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head[0], 1);
+  r.skip(1);
+  EXPECT_EQ(r.u8(), 4);
+  Bytes overrun = r.raw(5);
+  EXPECT_TRUE(overrun.empty());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(InternetChecksum, MatchesRfc1071Example) {
+  // Classic example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+  Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold -> 0xddf2.
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  Bytes data{0x12, 0x34, 0x56};
+  std::uint32_t sum = 0x1234 + 0x5600;
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~sum & 0xffff));
+}
+
+TEST(InternetChecksum, VerificationOfSelfChecksummedBufferIsZero) {
+  Bytes data{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  std::uint16_t checksum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(checksum >> 8));
+  data.push_back(static_cast<std::uint8_t>(checksum & 0xff));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_EQ(ok_result.error(), Errc::ok);
+
+  Result<int> err_result(Errc::timed_out);
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error(), Errc::timed_out);
+  EXPECT_EQ(err_result.value_or(-1), -1);
+}
+
+TEST(Result, StatusDefaultsToSuccess) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  Status failure(Errc::no_route);
+  EXPECT_FALSE(failure.ok());
+  EXPECT_STREQ(to_string(failure.error()), "no_route");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, BernoulliRateRoughlyMatchesP) {
+  Rng rng(99);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace hydranet

@@ -1,0 +1,192 @@
+// Property suite for the paper's central claim (§6): "HYDRANET-FT
+// guarantees reliable communication as long as there is a path between
+// the client and at least one operational server."
+//
+// Parameterised sweep over chain depth, which replica crashes, when it
+// crashes, and ambient packet loss: in every combination the client's
+// stream must complete byte-exact over its single TCP connection, and the
+// chain must heal to exactly the surviving replicas.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/ttcp.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+
+namespace hydranet::ftcp {
+namespace {
+
+using apps::fnv1a;
+using apps::ttcp_pattern;
+using testbed::Setup;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+struct FailoverCase {
+  int backups;          // chain length - 1
+  int crash_index;      // which server dies (-1: none)
+  int crash_after_ms;   // when, after traffic starts
+  double loss;          // Bernoulli loss on the client link
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<FailoverCase>& info) {
+  const FailoverCase& c = info.param;
+  std::string name = "b" + std::to_string(c.backups);
+  name += c.crash_index < 0 ? "_nocrash"
+                            : "_crash" + std::to_string(c.crash_index) + "at" +
+                                  std::to_string(c.crash_after_ms) + "ms";
+  name += "_loss" + std::to_string(static_cast<int>(c.loss * 100));
+  name += "_seed" + std::to_string(c.seed);
+  return name;
+}
+
+class FtFailoverProperty : public ::testing::TestWithParam<FailoverCase> {};
+
+TEST_P(FtFailoverProperty, StreamCompletesByteExactThroughAnySingleCrash) {
+  const FailoverCase param = GetParam();
+
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = param.backups;
+  config.detector.retransmission_threshold = 3;
+  config.seed = param.seed;
+  Testbed bed(config);
+  if (param.loss > 0) {
+    bed.client_link().set_loss_model(
+        std::make_unique<link::BernoulliLoss>(param.loss));
+  }
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  const std::size_t total = 1536 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  tx.write_size = 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+
+  if (param.crash_index >= 0) {
+    bed.net().run_for(sim::milliseconds(param.crash_after_ms));
+    ASSERT_FALSE(transmitter.report().finished)
+        << "crash scheduled after the transfer already completed; "
+           "increase total_bytes";
+    bed.crash_server(static_cast<std::size_t>(param.crash_index));
+  }
+  bed.net().run_for(sim::seconds(180));
+
+  // 1. The client finished cleanly on its one connection.
+  EXPECT_TRUE(transmitter.report().finished) << "client stream did not finish";
+  EXPECT_FALSE(transmitter.report().failed);
+
+  // 2. At least one operational replica holds the exact byte stream.
+  std::uint64_t expected_checksum = fnv1a(ttcp_pattern(total, 0));
+  bool exact_somewhere = false;
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    if (param.crash_index >= 0 &&
+        i == static_cast<std::size_t>(param.crash_index)) {
+      continue;
+    }
+    for (const auto& report : receivers[i]->reports()) {
+      if (report.eof && report.bytes_received == total &&
+          report.checksum == expected_checksum) {
+        exact_somewhere = true;
+      }
+    }
+  }
+  EXPECT_TRUE(exact_somewhere)
+      << "no surviving replica delivered the exact stream";
+
+  // 3. The chain healed to the survivors (crash case only; ambient loss
+  //    may legitimately trigger extra eliminations at threshold 3).
+  if (param.crash_index >= 0 && param.loss == 0) {
+    auto chain = bed.redirector_agent().chain(config.service);
+    ASSERT_EQ(chain.size(), static_cast<std::size_t>(param.backups));
+    for (net::Ipv4Address replica : chain) {
+      EXPECT_NE(replica,
+                bed.server_address(static_cast<std::size_t>(param.crash_index)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FtFailoverProperty,
+    ::testing::Values(
+        // No crash, varying depth and loss: plain FT operation.
+        FailoverCase{1, -1, 0, 0.00, 11},
+        FailoverCase{2, -1, 0, 0.00, 12},
+        FailoverCase{1, -1, 0, 0.02, 13},
+        FailoverCase{3, -1, 0, 0.00, 14},
+        // Primary crashes at different phases.
+        FailoverCase{1, 0, 500, 0.00, 21},
+        FailoverCase{1, 0, 2500, 0.00, 22},
+        FailoverCase{2, 0, 1500, 0.00, 23},
+        FailoverCase{3, 0, 1000, 0.00, 24},
+        // A backup crashes (first, middle, last).
+        FailoverCase{1, 1, 1000, 0.00, 31},
+        FailoverCase{2, 1, 1500, 0.00, 32},
+        FailoverCase{2, 2, 1500, 0.00, 33},
+        FailoverCase{3, 2, 800, 0.00, 34},
+        // Crash under ambient loss: recovery and detection interact.
+        FailoverCase{1, 0, 1500, 0.02, 41},
+        FailoverCase{1, 1, 1500, 0.02, 42},
+        FailoverCase{2, 0, 1200, 0.01, 43}),
+    case_name);
+
+// Double failure: with two backups, crash the primary, let the chain heal,
+// then crash the new primary — the last replica still finishes the job.
+TEST(FtFailoverSequence, TwoSuccessiveCrashesSurvivedWithTwoBackups) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 2;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  const std::size_t total = 4 * 1024 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  tx.write_size = 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+
+  bed.net().run_for(sim::seconds(2));
+  bed.crash_server(0);
+  // Wait for the first fail-over to complete (chain shrinks to 2).
+  for (int i = 0; i < 600; ++i) {
+    bed.net().run_for(sim::milliseconds(100));
+    if (bed.redirector_agent().chain(config.service).size() == 2) break;
+  }
+  ASSERT_EQ(bed.redirector_agent().chain(config.service).size(), 2u);
+  ASSERT_FALSE(transmitter.report().finished);
+
+  bed.net().run_for(sim::seconds(3));  // stream flows on the new primary
+  bed.crash_server(1);                 // kill it too
+  bed.net().run_for(sim::seconds(180));
+
+  EXPECT_TRUE(transmitter.report().finished);
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(2));
+  bool exact = false;
+  for (const auto& report : receivers[2]->reports()) {
+    if (report.eof && report.bytes_received == total &&
+        report.checksum == fnv1a(ttcp_pattern(total, 0))) {
+      exact = true;
+    }
+  }
+  EXPECT_TRUE(exact);
+}
+
+}  // namespace
+}  // namespace hydranet::ftcp

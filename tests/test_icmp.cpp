@@ -1,0 +1,304 @@
+// ICMP tests: message format, ping (echo), error generation from the IP
+// forwarding plane and the UDP layer, loop prevention, virtual hosts.
+#include <gtest/gtest.h>
+
+#include "icmp/icmp.hpp"
+#include "test_util.hpp"
+
+namespace hydranet::icmp {
+namespace {
+
+using testutil::ip;
+using testutil::Pair;
+
+TEST(IcmpMessage, SerdeRoundTrip) {
+  IcmpMessage m;
+  m.type = IcmpType::echo_request;
+  m.identifier = 0x1234;
+  m.sequence = 7;
+  m.body = {9, 8, 7, 6};
+  auto parsed = IcmpMessage::parse(m.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().type, IcmpType::echo_request);
+  EXPECT_EQ(parsed.value().identifier, 0x1234);
+  EXPECT_EQ(parsed.value().sequence, 7);
+  EXPECT_EQ(parsed.value().body, m.body);
+}
+
+TEST(IcmpMessage, ChecksumAndTypeValidation) {
+  IcmpMessage m;
+  m.type = IcmpType::echo_reply;
+  Bytes wire = m.serialize();
+  wire[5] ^= 0x40;  // corrupt the identifier
+  EXPECT_FALSE(IcmpMessage::parse(wire).ok());
+  Bytes tiny{0, 0, 0};
+  EXPECT_FALSE(IcmpMessage::parse(tiny).ok());
+  Bytes unknown_type = IcmpMessage{}.serialize();
+  unknown_type[0] = 42;  // not a type we speak
+  // Fix the checksum for the mutated type so only the type check can fail.
+  unknown_type[2] = unknown_type[3] = 0;
+  std::uint16_t checksum = internet_checksum(unknown_type);
+  unknown_type[2] = static_cast<std::uint8_t>(checksum >> 8);
+  unknown_type[3] = static_cast<std::uint8_t>(checksum & 0xff);
+  EXPECT_FALSE(IcmpMessage::parse(unknown_type).ok());
+}
+
+TEST(Ping, RoundTripMeasuresRtt) {
+  link::Link::Config config;
+  config.propagation = sim::milliseconds(5);
+  Pair pair(config);
+  bool done = false;
+  pair.a.icmp().ping(ip(10, 0, 0, 2), [&](const IcmpStack::PingReply& reply) {
+    done = true;
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.from, ip(10, 0, 0, 2));
+    // Two propagation legs plus (tiny) transmission time.
+    EXPECT_GE(reply.rtt.ns, sim::milliseconds(10).ns);
+    EXPECT_LT(reply.rtt.ns, sim::milliseconds(12).ns);
+  });
+  pair.net.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(pair.b.icmp().echo_requests_answered(), 1u);
+}
+
+TEST(Ping, TimeoutWhenTargetIsCrashed) {
+  Pair pair;
+  pair.b.crash();
+  bool done = false;
+  pair.a.icmp().ping(
+      ip(10, 0, 0, 2),
+      [&](const IcmpStack::PingReply& reply) {
+        done = true;
+        EXPECT_FALSE(reply.ok);
+      },
+      sim::milliseconds(500));
+  pair.net.run_for(sim::seconds(2));
+  EXPECT_TRUE(done);
+}
+
+TEST(Ping, UnroutableDestinationFailsFast) {
+  Pair pair;
+  bool done = false;
+  pair.a.icmp().ping(ip(99, 99, 99, 99),
+                     [&](const IcmpStack::PingReply& reply) {
+                       done = true;
+                       EXPECT_FALSE(reply.ok);
+                     });
+  pair.net.run_for(sim::milliseconds(10));
+  EXPECT_TRUE(done);  // immediate no-route failure, no 1 s wait
+}
+
+TEST(Ping, VirtualHostAnswersUnderItsServiceAddress) {
+  Pair pair;
+  pair.b.v_host(ip(192, 20, 225, 20));
+  pair.a.ip().add_route(ip(192, 20, 225, 20), 32, ip(10, 0, 0, 2), nullptr);
+  bool done = false;
+  pair.a.icmp().ping(ip(192, 20, 225, 20),
+                     [&](const IcmpStack::PingReply& reply) {
+                       done = true;
+                       EXPECT_TRUE(reply.ok);
+                       // The reply comes from the service address, keeping
+                       // the virtual host illusion intact.
+                       EXPECT_EQ(reply.from, ip(192, 20, 225, 20));
+                     });
+  pair.net.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(IcmpErrors, DeadUdpPortEarnsPortUnreachable) {
+  Pair pair;
+  std::vector<IcmpStack::ErrorReport> errors;
+  pair.a.icmp().set_error_handler(
+      [&](const IcmpStack::ErrorReport& report) { errors.push_back(report); });
+  auto socket = pair.a.udp().bind(net::Ipv4Address(), 0);
+  Bytes hello{1, 2, 3};
+  (void)socket.value()->send_to({ip(10, 0, 0, 2), 4444}, hello);
+  pair.net.run();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].type, IcmpType::destination_unreachable);
+  EXPECT_EQ(errors[0].code,
+            static_cast<std::uint8_t>(UnreachableCode::port_unreachable));
+  EXPECT_EQ(errors[0].reporter, ip(10, 0, 0, 2));
+  EXPECT_EQ(errors[0].original_dst, ip(10, 0, 0, 2));
+  EXPECT_EQ(errors[0].original_proto, net::IpProto::udp);
+}
+
+TEST(IcmpErrors, TtlExpiryInAForwardingLoopReportsTimeExceeded) {
+  host::Network net;
+  host::Host& a = net.add_host("a");
+  host::Host& b = net.add_host("b");
+  net.connect(a, ip(10, 0, 0, 1), b, ip(10, 0, 0, 2), 24);
+  // A routing loop for an off-subnet destination.
+  a.ip().add_default_route(ip(10, 0, 0, 2), nullptr);
+  b.ip().add_default_route(ip(10, 0, 0, 1), nullptr);
+
+  std::vector<IcmpStack::ErrorReport> errors;
+  a.icmp().set_error_handler(
+      [&](const IcmpStack::ErrorReport& report) { errors.push_back(report); });
+  auto socket = a.udp().bind(net::Ipv4Address(), 0);
+  Bytes probe{1};
+  (void)socket.value()->send_to({ip(66, 6, 6, 6), 9}, probe);
+  net.run(1'000'000);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].type, IcmpType::time_exceeded);
+  EXPECT_EQ(errors[0].original_dst, ip(66, 6, 6, 6));
+}
+
+TEST(IcmpErrors, NoErrorStormsAboutIcmpErrors) {
+  // An ICMP error whose *source* has no listener must not trigger another
+  // error, and errors about errors are suppressed (RFC 792).
+  Pair pair;
+  // Craft an offending datagram that is itself an ICMP error.
+  IcmpMessage error;
+  error.type = IcmpType::destination_unreachable;
+  error.code = static_cast<std::uint8_t>(UnreachableCode::port_unreachable);
+  net::Datagram offending;
+  offending.header.protocol = kIcmpProto;
+  offending.header.src = ip(10, 0, 0, 1);
+  offending.header.dst = ip(10, 0, 0, 2);
+  offending.payload = error.serialize();
+
+  std::uint64_t sent_before = pair.b.ip().stats().sent;
+  pair.b.icmp().send_unreachable(offending, UnreachableCode::host_unreachable);
+  pair.net.run();
+  EXPECT_EQ(pair.b.ip().stats().sent, sent_before);  // suppressed
+}
+
+TEST(IcmpErrors, ErrorBodyCarriesTheOffendingHeader) {
+  net::Datagram offending;
+  offending.header.protocol = net::IpProto::udp;
+  offending.header.src = ip(1, 1, 1, 1);
+  offending.header.dst = ip(2, 2, 2, 2);
+  offending.payload.assign(64, 0xab);
+  offending.header.total_length =
+      static_cast<std::uint16_t>(offending.size());
+
+  // Build the error body exactly as the stack does and re-parse it.
+  Pair pair;
+  std::vector<IcmpStack::ErrorReport> errors;
+  pair.a.icmp().set_error_handler(
+      [&](const IcmpStack::ErrorReport& report) { errors.push_back(report); });
+  // Have b generate an unreachable about a datagram "from" a.
+  net::Datagram from_a = offending;
+  from_a.header.src = ip(10, 0, 0, 1);
+  pair.b.icmp().send_unreachable(from_a, UnreachableCode::host_unreachable);
+  pair.net.run();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].original_dst, ip(2, 2, 2, 2));
+  EXPECT_EQ(errors[0].original_proto, net::IpProto::udp);
+}
+
+TEST(Traceroute, WalksAThreeRouterPath) {
+  // client - r1 - r2 - server, default routes along the chain.
+  host::Network net;
+  host::Host& client = net.add_host("client");
+  host::Host& r1 = net.add_host("r1");
+  host::Host& r2 = net.add_host("r2");
+  host::Host& server = net.add_host("server");
+  net.connect(client, ip(10, 0, 1, 2), r1, ip(10, 0, 1, 1), 24);
+  net.connect(r1, ip(10, 0, 2, 1), r2, ip(10, 0, 2, 2), 24);
+  net.connect(r2, ip(10, 0, 3, 1), server, ip(10, 0, 3, 2), 24);
+  client.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+  r1.ip().add_default_route(ip(10, 0, 2, 2), nullptr);
+  r2.ip().add_default_route(ip(10, 0, 3, 2), nullptr);
+  server.ip().add_default_route(ip(10, 0, 3, 1), nullptr);
+  r2.ip().add_route(ip(10, 0, 1, 0), 24, ip(10, 0, 2, 1), nullptr);
+
+  std::vector<IcmpStack::Hop> hops;
+  ASSERT_TRUE(client.icmp()
+                  .traceroute(ip(10, 0, 3, 2),
+                              [&](const std::vector<IcmpStack::Hop>& result) {
+                                hops = result;
+                              })
+                  .ok());
+  // A second traceroute while one runs is rejected.
+  EXPECT_EQ(client.icmp()
+                .traceroute(ip(10, 0, 3, 2),
+                            [](const std::vector<IcmpStack::Hop>&) {})
+                .error(),
+            Errc::would_block);
+  net.run_for(sim::seconds(10));
+
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].router, ip(10, 0, 1, 1));  // r1 (client-facing address)
+  EXPECT_FALSE(hops[0].reached);
+  EXPECT_EQ(hops[1].router, ip(10, 0, 2, 2));  // r2 (address toward r1)
+  EXPECT_FALSE(hops[1].reached);
+  EXPECT_EQ(hops[2].router, ip(10, 0, 3, 2));  // the destination
+  EXPECT_TRUE(hops[2].reached);
+}
+
+TEST(Traceroute, UnresponsiveHopShowsAsSilent) {
+  host::Network net;
+  host::Host& client = net.add_host("client");
+  host::Host& r1 = net.add_host("r1");
+  host::Host& server = net.add_host("server");
+  net.connect(client, ip(10, 0, 1, 2), r1, ip(10, 0, 1, 1), 24);
+  net.connect(r1, ip(10, 0, 2, 1), server, ip(10, 0, 2, 2), 24);
+  client.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+  server.ip().add_default_route(ip(10, 0, 2, 1), nullptr);
+
+  // The destination is beyond the server: nothing there.
+  std::vector<IcmpStack::Hop> hops;
+  ASSERT_TRUE(client.icmp()
+                  .traceroute(ip(66, 6, 6, 6),
+                              [&](const std::vector<IcmpStack::Hop>& result) {
+                                hops = result;
+                              },
+                              /*max_hops=*/4)
+                  .ok());
+  net.run_for(sim::seconds(10));
+  ASSERT_EQ(hops.size(), 4u);  // never reached; capped at max_hops
+  EXPECT_TRUE(hops[0].responded);  // r1 answers with time-exceeded
+  EXPECT_FALSE(hops[3].reached);
+}
+
+TEST(Ping, ManyConcurrentPingsAreDemultiplexed) {
+  Pair pair;
+  int ok_count = 0;
+  for (int i = 0; i < 20; ++i) {
+    pair.a.icmp().ping(ip(10, 0, 0, 2),
+                       [&](const IcmpStack::PingReply& reply) {
+                         if (reply.ok) ok_count++;
+                       });
+  }
+  pair.net.run();
+  EXPECT_EQ(ok_count, 20);
+  EXPECT_EQ(pair.b.icmp().echo_requests_answered(), 20u);
+}
+
+}  // namespace
+}  // namespace hydranet::icmp
+
+#include "testbed/testbed.hpp"
+
+namespace hydranet::icmp {
+namespace {
+
+TEST(Traceroute, WalksTheTestbedToTheVirtualService) {
+  testbed::TestbedConfig config;
+  config.setup = testbed::Setup::primary_backup;
+  config.backups = 1;
+  testbed::Testbed bed(config);
+
+  std::vector<IcmpStack::Hop> hops;
+  ASSERT_TRUE(bed.client()
+                  .icmp()
+                  .traceroute(config.service.address,
+                              [&](const std::vector<IcmpStack::Hop>& result) {
+                                hops = result;
+                              })
+                  .ok());
+  bed.net().run_for(sim::seconds(10));
+  ASSERT_EQ(hops.size(), 2u);
+  // Hop 1: the redirector (its client-facing address).
+  EXPECT_EQ(hops[0].router, net::Ipv4Address(10, 0, 1, 1));
+  EXPECT_FALSE(hops[0].reached);
+  // Hop 2: the service address itself, answered by the primary's virtual
+  // host — the replication is invisible even to traceroute.
+  EXPECT_TRUE(hops[1].reached);
+  EXPECT_EQ(hops[1].router, config.service.address);
+}
+
+}  // namespace
+}  // namespace hydranet::icmp

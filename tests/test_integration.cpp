@@ -1,0 +1,231 @@
+// Cross-cutting integration tests: full-duplex TCP under loss, IP
+// fragmentation interacting with ft-TCP and fail-over, backup voluntary
+// leave, and the documented degradation limits of re-commissioning.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/ttcp.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+
+namespace hydranet {
+namespace {
+
+using apps::fnv1a;
+using apps::ttcp_pattern;
+using testbed::Setup;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+using testutil::ip;
+using testutil::Pair;
+
+// Full-duplex: both directions stream independently at once, under random
+// loss; each direction must be byte-exact.
+class FullDuplexLoss : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullDuplexLoss, IndependentStreamsBothWaysAreExact) {
+  link::Link::Config config;
+  config.loss_probability = 0.04;
+  config.seed = GetParam();
+  Pair pair(config, 1500, GetParam() * 17 + 3);
+
+  const std::size_t total = 96 * 1024;
+  struct Side {
+    std::shared_ptr<tcp::TcpConnection> conn;
+    std::size_t written = 0;
+    Bytes received;
+    bool eof = false;
+  };
+  Side server_side, client_side;
+
+  auto wire = [&](Side& side, std::size_t salt) {
+    auto* raw = side.conn.get();
+    Side* s = &side;
+    auto pump = [s, raw, salt, total] {
+      while (s->written < total) {
+        std::size_t n = std::min<std::size_t>(total - s->written, 4096);
+        Bytes chunk = ttcp_pattern(n, s->written + salt);
+        auto accepted = raw->send(chunk);
+        if (!accepted) break;
+        s->written += accepted.value();
+      }
+      if (s->written >= total) raw->close();
+    };
+    raw->set_on_writable(pump);
+    raw->set_on_readable([s, raw] {
+      for (;;) {
+        auto data = raw->recv(64 * 1024);
+        if (!data) return;
+        if (data.value().empty()) {
+          s->eof = true;
+          return;
+        }
+        s->received.insert(s->received.end(), data.value().begin(),
+                           data.value().end());
+      }
+    });
+    pump();
+  };
+
+  ASSERT_TRUE(pair.b.tcp()
+                  .listen(net::Ipv4Address(), 80,
+                          [&](std::shared_ptr<tcp::TcpConnection> c) {
+                            server_side.conn = std::move(c);
+                            wire(server_side, /*salt=*/777);
+                          })
+                  .ok());
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  client_side.conn = client.value();
+  client_side.conn->set_on_established(
+      [&] { wire(client_side, /*salt=*/0); });
+
+  pair.net.run(30'000'000);
+  // Client sent pattern(salt 0); server received it — and vice versa.
+  ASSERT_EQ(server_side.received.size(), total);
+  EXPECT_EQ(fnv1a(server_side.received), fnv1a(ttcp_pattern(total, 0)));
+  ASSERT_EQ(client_side.received.size(), total);
+  EXPECT_EQ(fnv1a(client_side.received), fnv1a(ttcp_pattern(total, 777)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullDuplexLoss,
+                         ::testing::Values(3, 5, 8, 13, 21));
+
+TEST(FragmentationIntegration, OversizedMssThroughFtChainWithFailover) {
+  // MSS 4096 > MTU 1500: every full segment fragments at IP; the
+  // fragments are tunnelled to both replicas, reassembled there, gated,
+  // and the whole machine still survives a primary crash mid-stream.
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  tcp::TcpOptions options = apps::period_tcp_options();
+  options.mss = 4096;
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port, options));
+  }
+  const std::size_t total = 2 * 1024 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  tx.write_size = 4096;
+  tx.tcp = options;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(transmitter.report().finished);
+  // Fragments really are in play.
+  EXPECT_GT(bed.client().ip().stats().fragments_sent, 10u);
+  EXPECT_GT(bed.server(1).ip().stats().fragments_received, 10u);
+
+  bed.crash_server(0);
+  bed.net().run_for(sim::seconds(120));
+  EXPECT_TRUE(transmitter.report().finished);
+  bool exact = false;
+  for (const auto& report : receivers[1]->reports()) {
+    if (report.eof && report.bytes_received == total &&
+        report.checksum == fnv1a(ttcp_pattern(total, 0))) {
+      exact = true;
+    }
+  }
+  EXPECT_TRUE(exact);
+}
+
+TEST(MgmtBackupLeave, VoluntaryBackupDepartureIsInvisible) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 2;
+  Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  const std::size_t total = 2 * 1024 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(transmitter.report().finished);
+
+  bed.agent(1).leave(config.service);  // the middle backup bows out
+  bed.net().run_for(sim::seconds(120));
+
+  EXPECT_TRUE(transmitter.report().finished);
+  ASSERT_FALSE(receivers[0]->reports().empty());
+  EXPECT_EQ(receivers[0]->reports().front().bytes_received, total);
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], bed.server_address(0));
+  EXPECT_EQ(chain[1], bed.server_address(2));
+  // The chain is rewired around the departed member.
+  EXPECT_EQ(bed.agent(0).replica(config.service)->successor(),
+            bed.server_address(2));
+}
+
+TEST(RecommissionLimits, PassthroughConnectionsDieWithTheNextPrimaryCrash) {
+  // Documented degradation: a connection opened BEFORE a backup rejoined
+  // is handled pass-through at that backup (no replicated state).  If the
+  // primary then dies, that connection cannot be continued — it fails —
+  // while connections opened after the rejoin survive.  (Full state
+  // transfer is application-involving; see DESIGN.md.)
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  // Lose the backup before any connection exists.
+  bed.crash_server(1);
+  bed.net().run_for(sim::seconds(1));
+
+  // Open the long-lived connection (primary-only era).
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = 64 * 1024 * 1024;  // long-running
+  tx.tcp = apps::period_tcp_options();
+  tx.tcp.max_retransmits = 6;  // give up in reasonable sim time
+  tx.tcp.max_rto = sim::seconds(4);
+  apps::TtcpTransmitter old_conn(bed.client(), tx);
+  ASSERT_TRUE(old_conn.start().ok());
+  // Let the redirector eliminate the dead backup (first failure signals).
+  bed.net().run_for(sim::seconds(30));
+  ASSERT_FALSE(old_conn.report().finished);
+
+  // The backup machine recovers and rejoins mid-connection.
+  bed.server(1).revive();
+  bed.agent(1).rejoin(config.service, config.detector);
+  bed.net().run_for(sim::seconds(5));
+  ASSERT_EQ(bed.redirector_agent().chain(config.service).size(), 2u);
+
+  // Now the primary dies.  The old (pass-through) connection fails...
+  bed.crash_server(0);
+  bed.net().run_for(sim::seconds(120));
+  EXPECT_TRUE(old_conn.report().failed);
+
+  // ...but the service as a whole has failed over, and new connections
+  // are served by the promoted (rejoined) replica.
+  apps::TtcpTransmitter::Config tx2;
+  tx2.server = config.service;
+  tx2.total_bytes = 128 * 1024;
+  apps::TtcpTransmitter fresh(bed.client(), tx2);
+  ASSERT_TRUE(fresh.start().ok());
+  bed.net().run_for(sim::seconds(60));
+  EXPECT_TRUE(fresh.report().finished);
+}
+
+}  // namespace
+}  // namespace hydranet

@@ -1,0 +1,313 @@
+// IP-layer tests: local delivery, routing/forwarding, TTL, aliases,
+// fragmentation/reassembly, tunnel decapsulation, CPU model, crash.
+#include <gtest/gtest.h>
+
+#include "host/network.hpp"
+#include "net/tunnel.hpp"
+
+namespace hydranet::ip {
+namespace {
+
+using host::Host;
+using host::Network;
+using net::Datagram;
+using net::IpProto;
+using net::Ipv4Address;
+
+constexpr IpProto kTestProto = static_cast<IpProto>(253);  // experimental
+
+struct Received {
+  net::Ipv4Header header;
+  Bytes payload;
+};
+
+void capture(Host& host, std::vector<Received>& sink,
+             IpProto proto = kTestProto) {
+  host.ip().register_protocol(proto,
+                              [&sink](const net::Ipv4Header& h, Bytes p) {
+                                sink.push_back({h, std::move(p)});
+                              });
+}
+
+Datagram make_datagram(Ipv4Address dst, Bytes payload,
+                       IpProto proto = kTestProto) {
+  Datagram d;
+  d.header.protocol = proto;
+  d.header.dst = dst;
+  d.payload = std::move(payload);
+  return d;
+}
+
+TEST(IpStack, DirectDeliveryOnSharedSubnet) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24);
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  ASSERT_TRUE(a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), {1, 2, 3}))
+                  .ok());
+  net.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(at_b[0].header.src, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST(IpStack, ForwardingThroughRouterViaGatewayRoutes) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& r = net.add_host("r");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 1, 2), r, Ipv4Address(10, 0, 1, 1), 24);
+  net.connect(r, Ipv4Address(10, 0, 2, 1), b, Ipv4Address(10, 0, 2, 2), 24);
+  a.ip().add_default_route(Ipv4Address(10, 0, 1, 1), nullptr);
+  b.ip().add_default_route(Ipv4Address(10, 0, 2, 1), nullptr);
+
+  std::vector<Received> at_b;
+  capture(b, at_b);
+  ASSERT_TRUE(
+      a.ip().send(make_datagram(Ipv4Address(10, 0, 2, 2), {9})).ok());
+  net.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].header.ttl, net::Ipv4Header::kDefaultTtl - 1);
+  EXPECT_EQ(r.ip().stats().forwarded, 1u);
+}
+
+TEST(IpStack, NoRouteFailsSynchronously) {
+  Network net;
+  Host& a = net.add_host("a");
+  a.add_interface("eth0", Ipv4Address(10, 0, 0, 1), 24);
+  auto status = a.ip().send(make_datagram(Ipv4Address(99, 0, 0, 1), {1}));
+  EXPECT_EQ(status.error(), Errc::no_route);
+}
+
+TEST(IpStack, TtlExpiryDropsInLongLoop) {
+  // Two routers pointing default routes at each other: a routing loop.
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24);
+  a.ip().add_default_route(Ipv4Address(10, 0, 0, 2), nullptr);
+  b.ip().add_default_route(Ipv4Address(10, 0, 0, 1), nullptr);
+
+  ASSERT_TRUE(a.ip().send(make_datagram(Ipv4Address(66, 6, 6, 6), {1})).ok());
+  net.run(100000);
+  EXPECT_EQ(a.ip().stats().ttl_drops + b.ip().stats().ttl_drops, 1u);
+}
+
+TEST(IpStack, LocalAliasReceivesLikeOwnAddress) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24);
+  b.v_host(Ipv4Address(192, 20, 225, 20));
+  a.ip().add_route(Ipv4Address(192, 20, 225, 20), 32, Ipv4Address(10, 0, 0, 2),
+                   nullptr);
+
+  std::vector<Received> at_b;
+  capture(b, at_b);
+  ASSERT_TRUE(
+      a.ip().send(make_datagram(Ipv4Address(192, 20, 225, 20), {7})).ok());
+  net.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].header.dst, Ipv4Address(192, 20, 225, 20));
+
+  // After removal the alias no longer delivers (it gets forwarded/dropped).
+  b.remove_v_host(Ipv4Address(192, 20, 225, 20));
+  (void)a.ip().send(make_datagram(Ipv4Address(192, 20, 225, 20), {8}));
+  net.run(100000);
+  EXPECT_EQ(at_b.size(), 1u);
+}
+
+TEST(IpStack, LoopbackToSelf) {
+  Network net;
+  Host& a = net.add_host("a");
+  a.add_interface("eth0", Ipv4Address(10, 0, 0, 1), 24);
+  std::vector<Received> local;
+  capture(a, local);
+  ASSERT_TRUE(a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 1), {5})).ok());
+  net.run();
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].header.src, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST(IpStack, FragmentationAndReassemblyAcrossSmallMtu) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  link::Link::Config config;
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24,
+              config, /*mtu=*/220);
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  Bytes payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), payload))
+                  .ok());
+  net.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].payload, payload);
+  EXPECT_GE(a.ip().stats().fragments_sent, 5u);
+  EXPECT_GE(b.ip().stats().fragments_received, 5u);
+}
+
+TEST(IpStack, ReassemblyHandlesOutOfOrderAndDuplicateFragments) {
+  // Craft fragments by hand and inject them straight into the receiving
+  // interface, out of order and with a duplicate.
+  Network net;
+  Host& b = net.add_host("b");
+  auto& iface = b.add_interface("eth0", Ipv4Address(10, 0, 0, 2), 24);
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  Bytes payload(48);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  auto fragment = [&](std::uint16_t offset_units, std::size_t from,
+                      std::size_t len, bool more) {
+    Datagram f;
+    f.header.protocol = kTestProto;
+    f.header.src = Ipv4Address(10, 0, 0, 1);
+    f.header.dst = Ipv4Address(10, 0, 0, 2);
+    f.header.identification = 777;
+    f.header.fragment_offset = offset_units;
+    f.header.more_fragments = more;
+    f.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(from),
+                     payload.begin() + static_cast<std::ptrdiff_t>(from + len));
+    return f.serialize();
+  };
+
+  // Three 16-byte fragments (16 bytes = 2 offset units) delivered as:
+  // middle, last, middle again (duplicate), first.
+  iface.handle_rx(fragment(2, 16, 16, true));
+  iface.handle_rx(fragment(4, 32, 16, false));
+  iface.handle_rx(fragment(2, 16, 16, true));
+  iface.handle_rx(fragment(0, 0, 16, true));
+  net.run();
+
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].payload, payload);
+  EXPECT_FALSE(at_b[0].header.is_fragment());
+}
+
+TEST(IpStack, IncompleteReassemblyTimesOut) {
+  Network net;
+  Host& b = net.add_host("b");
+  auto& iface = b.add_interface("eth0", Ipv4Address(10, 0, 0, 2), 24);
+  b.ip().set_reassembly_timeout(sim::seconds(5));
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  Datagram f;
+  f.header.protocol = kTestProto;
+  f.header.src = Ipv4Address(10, 0, 0, 1);
+  f.header.dst = Ipv4Address(10, 0, 0, 2);
+  f.header.identification = 42;
+  f.header.more_fragments = true;  // first fragment, final never arrives
+  f.payload.assign(16, 0xcd);
+  iface.handle_rx(f.serialize());
+
+  net.run_for(sim::seconds(10));
+  EXPECT_TRUE(at_b.empty());
+  EXPECT_EQ(b.ip().stats().reassembly_timeouts, 1u);
+}
+
+TEST(IpStack, TunnelDecapsulationDeliversInnerToVirtualHost) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24);
+  b.v_host(Ipv4Address(192, 20, 225, 20));
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  Datagram inner = make_datagram(Ipv4Address(192, 20, 225, 20), {1, 2});
+  inner.header.src = Ipv4Address(10, 0, 9, 9);
+  inner.header.ttl = 40;
+  inner.header.total_length = static_cast<std::uint16_t>(inner.size());
+  Datagram outer = net::encapsulate_ipip(inner, Ipv4Address(10, 0, 0, 1),
+                                         Ipv4Address(10, 0, 0, 2));
+  ASSERT_TRUE(a.ip().send(std::move(outer)).ok());
+  net.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].header.dst, Ipv4Address(192, 20, 225, 20));
+  EXPECT_EQ(at_b[0].header.src, Ipv4Address(10, 0, 9, 9));
+  EXPECT_EQ(at_b[0].payload, (Bytes{1, 2}));
+}
+
+TEST(IpStack, ForwardHookConsumesTransitTraffic) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& r = net.add_host("r");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 1, 2), r, Ipv4Address(10, 0, 1, 1), 24);
+  net.connect(r, Ipv4Address(10, 0, 2, 1), b, Ipv4Address(10, 0, 2, 2), 24);
+  a.ip().add_default_route(Ipv4Address(10, 0, 1, 1), nullptr);
+
+  int hook_calls = 0;
+  r.ip().set_forward_hook([&](const Datagram& d) {
+    hook_calls++;
+    return d.payload.size() == 1;  // consume one-byte datagrams
+  });
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 2, 2), {1}));
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 2, 2), {1, 2}));
+  net.run();
+  EXPECT_EQ(hook_calls, 2);
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].payload.size(), 2u);
+}
+
+TEST(IpStack, CrashedHostDropsEverything) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24);
+  std::vector<Received> at_b;
+  capture(b, at_b);
+
+  b.crash();
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), {1}));
+  net.run();
+  EXPECT_TRUE(at_b.empty());
+  EXPECT_FALSE(b.ip().send(make_datagram(Ipv4Address(10, 0, 0, 1), {1})).ok());
+
+  b.revive();
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), {2}));
+  net.run();
+  EXPECT_EQ(at_b.size(), 1u);
+}
+
+TEST(IpStack, CpuModelDelaysProcessing) {
+  Network net;
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  link::Link::Config fast;
+  fast.bandwidth_bps = 1e12;  // effectively instantaneous wire
+  fast.propagation = sim::Duration{0};
+  net.connect(a, Ipv4Address(10, 0, 0, 1), b, Ipv4Address(10, 0, 0, 2), 24,
+              fast);
+  b.set_cpu_model(link::CpuModel{sim::milliseconds(10), sim::Duration{0}, 1.0});
+
+  std::vector<sim::TimePoint> arrivals;
+  b.ip().register_protocol(kTestProto, [&](const net::Ipv4Header&, Bytes) {
+    arrivals.push_back(net.now());
+  });
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), {1}));
+  (void)a.ip().send(make_datagram(Ipv4Address(10, 0, 0, 2), {2}));
+  net.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Each datagram costs 10ms of CPU; the second queues behind the first.
+  EXPECT_GE(arrivals[0].ns, sim::milliseconds(10).ns);
+  EXPECT_GE((arrivals[1] - arrivals[0]).ns, sim::milliseconds(10).ns);
+}
+
+}  // namespace
+}  // namespace hydranet::ip

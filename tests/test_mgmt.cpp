@@ -1,0 +1,423 @@
+// Replica-management protocol (§4.4): message serde, reliable transport,
+// registration/chain wiring, fail-over orchestration, voluntary leave,
+// scaled replication, and the re-commissioning extension — all through the
+// agents, on the paper's testbed topology.
+#include <gtest/gtest.h>
+
+#include "apps/stream.hpp"
+#include "apps/ttcp.hpp"
+#include "mgmt/host_agent.hpp"
+#include "mgmt/protocol.hpp"
+#include "mgmt/redirector_agent.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+
+namespace hydranet::mgmt {
+namespace {
+
+using apps::fnv1a;
+using apps::ttcp_pattern;
+using testbed::Setup;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+using testutil::ip;
+
+TEST(MgmtMessage, SerdeRoundTripAllFields) {
+  MgmtMessage m;
+  m.type = MsgType::failure_report;
+  m.request_id = 0xcafe;
+  m.service = {ip(192, 20, 225, 20), 5001};
+  m.host = ip(10, 0, 3, 2);
+  m.has_host = true;
+  m.fault_tolerant = false;
+  m.blocked_on_successor = true;
+  auto parsed = MgmtMessage::parse(m.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().type, MsgType::failure_report);
+  EXPECT_EQ(parsed.value().request_id, 0xcafeu);
+  EXPECT_EQ(parsed.value().service, m.service);
+  EXPECT_EQ(parsed.value().host, m.host);
+  EXPECT_TRUE(parsed.value().has_host);
+  EXPECT_FALSE(parsed.value().fault_tolerant);
+  EXPECT_TRUE(parsed.value().blocked_on_successor);
+}
+
+TEST(MgmtMessage, RejectsBadMagicAndTruncation) {
+  Bytes junk{9, 9, 9, 9, 9, 9};
+  EXPECT_FALSE(MgmtMessage::parse(junk).ok());
+  MgmtMessage m;
+  Bytes wire = m.serialize();
+  wire.resize(6);
+  EXPECT_FALSE(MgmtMessage::parse(wire).ok());
+}
+
+TEST(MgmtTransport, ReliableDeliveryRetriesThroughLoss) {
+  link::Link::Config lossy;
+  lossy.loss_probability = 0.6;
+  lossy.seed = 17;
+  testutil::Pair pair(lossy);
+  MgmtTransport sender(pair.a);
+  MgmtTransport receiver(pair.b);
+
+  int received = 0;
+  receiver.set_handler([&](const net::Endpoint& from, const MgmtMessage& msg) {
+    received++;
+    receiver.acknowledge(from, msg.request_id);
+  });
+
+  MgmtMessage message;
+  message.type = MsgType::set_successor;
+  sender.send_reliable({ip(10, 0, 0, 2), MgmtTransport::kPort}, message,
+                       /*max_retries=*/30);
+  pair.net.run_for(sim::seconds(10));
+  EXPECT_GE(received, 1);
+  EXPECT_EQ(sender.pending_requests(), 0u);  // acked, retries stopped
+}
+
+TEST(MgmtTransport, AbandonsAfterRetriesExhausted) {
+  testutil::Pair pair;
+  MgmtTransport sender(pair.a);
+  pair.b.crash();
+  MgmtMessage message;
+  message.type = MsgType::promote;
+  sender.send_reliable({ip(10, 0, 0, 2), MgmtTransport::kPort}, message,
+                       /*max_retries=*/3, sim::milliseconds(50));
+  EXPECT_EQ(sender.pending_requests(), 1u);
+  pair.net.run_for(sim::seconds(2));
+  EXPECT_EQ(sender.pending_requests(), 0u);
+}
+
+TEST(MgmtRegistration, BuildsChainTableAndWiring) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 2;
+  Testbed bed(config);
+
+  // Chain known at the redirector, primary first.
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], bed.server_address(0));
+  EXPECT_EQ(chain[1], bed.server_address(1));
+  EXPECT_EQ(chain[2], bed.server_address(2));
+
+  // Data plane multicasts to all three.
+  const auto* entry = bed.redirector().lookup(config.service);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->mode, redirector::ServiceMode::fault_tolerant);
+  EXPECT_EQ(entry->primary, bed.server_address(0));
+  EXPECT_EQ(entry->backups.size(), 2u);
+
+  // Acknowledgement-channel wiring matches Figure 3.
+  auto* s1 = bed.agent(0).replica(config.service);
+  auto* s2 = bed.agent(1).replica(config.service);
+  auto* s3 = bed.agent(2).replica(config.service);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  ASSERT_NE(s3, nullptr);
+  EXPECT_EQ(s1->mode(), tcp::ReplicaMode::primary);
+  EXPECT_FALSE(s1->predecessor().has_value());
+  EXPECT_EQ(s1->successor(), bed.server_address(1));
+  EXPECT_EQ(s2->predecessor(), bed.server_address(0));
+  EXPECT_EQ(s2->successor(), bed.server_address(2));
+  EXPECT_EQ(s3->predecessor(), bed.server_address(1));
+  EXPECT_FALSE(s3->successor().has_value());
+}
+
+/// Runs a ttcp push over the deployed service and returns the receiver
+/// reports; optionally injects a mid-transfer action.
+struct TtcpRun {
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  std::unique_ptr<apps::TtcpTransmitter> transmitter;
+
+  TtcpRun(Testbed& bed, std::size_t total_bytes) {
+    tcp::TcpOptions server_options = apps::period_tcp_options();
+    for (std::size_t i = 0; i < bed.server_count(); ++i) {
+      receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+          bed.server(i), bed.config().service.address,
+          bed.config().service.port, server_options));
+    }
+    apps::TtcpTransmitter::Config config;
+    config.server = bed.config().service;
+    config.total_bytes = total_bytes;
+    config.write_size = 1024;
+    transmitter =
+        std::make_unique<apps::TtcpTransmitter>(bed.client(), config);
+  }
+};
+
+TEST(MgmtFailover, PrimaryCrashIsMaskedFromTheClient) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 4;
+  Testbed bed(config);
+
+  const std::size_t total = 3 * 1024 * 1024;
+  TtcpRun run(bed, total);
+  ASSERT_TRUE(run.transmitter->start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(run.transmitter->report().finished);
+  ASSERT_GT(run.receivers[0]->total_bytes(), 0u);
+
+  bed.crash_server(0);  // the primary dies mid-stream
+  bed.net().run_for(sim::seconds(60));
+
+  // The client finished cleanly; the backup (new primary) has the whole
+  // stream, byte-exact.
+  EXPECT_TRUE(run.transmitter->report().finished);
+  EXPECT_FALSE(run.transmitter->report().failed);
+  ASSERT_FALSE(run.receivers[1]->reports().empty());
+  const auto& report = run.receivers[1]->reports().front();
+  EXPECT_TRUE(report.eof);
+  EXPECT_EQ(report.bytes_received, total);
+  EXPECT_EQ(report.checksum, fnv1a(ttcp_pattern(total, 0)));
+
+  // The redirector eliminated the dead primary and promoted the backup.
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(1));
+  EXPECT_GE(bed.redirector_agent().stats().promotions_ordered, 1u);
+  auto* survivor = bed.agent(1).replica(config.service);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->mode(), tcp::ReplicaMode::primary);
+}
+
+TEST(MgmtFailover, BackupCrashIsMaskedFromTheClient) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 4;
+  Testbed bed(config);
+
+  const std::size_t total = 3 * 1024 * 1024;
+  TtcpRun run(bed, total);
+  ASSERT_TRUE(run.transmitter->start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(run.transmitter->report().finished);
+
+  bed.crash_server(1);  // the backup dies: the primary's gates block
+  bed.net().run_for(sim::seconds(90));
+
+  EXPECT_TRUE(run.transmitter->report().finished);
+  ASSERT_FALSE(run.receivers[0]->reports().empty());
+  const auto& report = run.receivers[0]->reports().front();
+  EXPECT_TRUE(report.eof);
+  EXPECT_EQ(report.bytes_received, total);
+  EXPECT_EQ(report.checksum, fnv1a(ttcp_pattern(total, 0)));
+
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(0));
+}
+
+TEST(MgmtFailover, MiddleBackupCrashHealsTheChain) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 2;
+  config.detector.retransmission_threshold = 4;
+  Testbed bed(config);
+
+  const std::size_t total = 3 * 1024 * 1024;
+  TtcpRun run(bed, total);
+  ASSERT_TRUE(run.transmitter->start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(run.transmitter->report().finished);
+
+  bed.crash_server(1);  // middle of the chain
+  bed.net().run_for(sim::seconds(90));
+
+  EXPECT_TRUE(run.transmitter->report().finished);
+  const auto& report = run.receivers[0]->reports().front();
+  EXPECT_EQ(report.bytes_received, total);
+  EXPECT_EQ(report.checksum, fnv1a(ttcp_pattern(total, 0)));
+
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], bed.server_address(0));
+  EXPECT_EQ(chain[1], bed.server_address(2));
+  // The survivors' channel is rewired around the hole.
+  EXPECT_EQ(bed.agent(0).replica(config.service)->successor(),
+            bed.server_address(2));
+  EXPECT_EQ(bed.agent(2).replica(config.service)->predecessor(),
+            bed.server_address(0));
+}
+
+TEST(MgmtFailover, VoluntaryLeaveOfPrimaryIsSeamless) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  Testbed bed(config);
+
+  const std::size_t total = 3 * 1024 * 1024;
+  TtcpRun run(bed, total);
+  ASSERT_TRUE(run.transmitter->start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(run.transmitter->report().finished);
+
+  bed.agent(0).leave(config.service);  // deletion of the primary (§4.4)
+  bed.net().run_for(sim::seconds(90));
+
+  EXPECT_TRUE(run.transmitter->report().finished);
+  EXPECT_FALSE(run.transmitter->report().failed);
+  ASSERT_FALSE(run.receivers[1]->reports().empty());
+  EXPECT_EQ(run.receivers[1]->reports().front().bytes_received, total);
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(1));
+}
+
+TEST(MgmtFailover, CongestionReportWithAllAliveShutsDownThePrimary) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  Testbed bed(config);
+
+  // A failure report arrives although every replica answers probes: the
+  // paper's "spurious unavailability" (congestion).  Policy: eliminate
+  // the replica failing to close the loop — the primary.
+  MgmtMessage report;
+  report.type = MsgType::failure_report;
+  report.service = config.service;
+  report.blocked_on_successor = false;
+  bed.agent(1).transport().send_reliable(
+      {ip(10, 0, 2, 1), MgmtTransport::kPort}, report);
+  bed.net().run_for(sim::seconds(5));
+
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(1));
+  EXPECT_EQ(bed.agent(1).replica(config.service)->mode(),
+            tcp::ReplicaMode::primary);
+  // The former primary was ordered to stand down.
+  EXPECT_EQ(bed.agent(0).replica(config.service), nullptr);
+  EXPECT_GE(bed.agent(0).stats().shutdowns, 1u);
+}
+
+TEST(MgmtFailover, ClientCrashDoesNotDismantleTheChain) {
+  // Server-push traffic toward a client that dies: EVERY replica's own
+  // retransmission timer fires (nobody acks), so every replica raises
+  // failure signals — including the primary.  Those must be attributed
+  // to the client side; otherwise a single dead viewer would shut the
+  // whole service down for everyone.
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  apps::StreamingSource::Config source_config;
+  source_config.listen_address = config.service.address;
+  source_config.port = config.service.port;
+  source_config.chunk_size = 1400;
+  source_config.interval = sim::milliseconds(10);
+  source_config.total_bytes = 16 * 1024 * 1024;
+  source_config.tcp = apps::period_tcp_options();
+  apps::StreamingSource primary_source(bed.server(0), source_config);
+  apps::StreamingSource backup_source(bed.server(1), source_config);
+
+  apps::StreamingSink::Config sink_config;
+  sink_config.server = config.service;
+  sink_config.tcp = apps::period_tcp_options();
+  apps::StreamingSink viewer(bed.client(), sink_config);
+  ASSERT_TRUE(viewer.start().ok());
+
+  bed.net().run_for(sim::seconds(3));
+  ASSERT_GT(viewer.report().bytes, 0u);
+
+  bed.client().crash();  // the viewer vanishes mid-stream
+  bed.net().run_for(sim::seconds(120));
+
+  // Signals were raised (the replicas did notice)...
+  auto* primary_replica = bed.agent(0).replica(config.service);
+  ASSERT_NE(primary_replica, nullptr);
+  EXPECT_GT(primary_replica->failure_signals_raised() +
+                bed.agent(1).replica(config.service)->failure_signals_raised(),
+            0u);
+  // ...but the chain is intact: nobody was eliminated for a client death.
+  auto chain = bed.redirector_agent().chain(config.service);
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(bed.redirector_agent().stats().replicas_eliminated, 0u);
+
+  // The service keeps serving: a new viewer (the host revived) streams.
+  bed.client().revive();
+  apps::StreamingSink second(bed.client(), sink_config);
+  ASSERT_TRUE(second.start().ok());
+  bed.net().run_for(sim::seconds(30));
+  EXPECT_GT(second.report().bytes, 0u);
+  EXPECT_EQ(bed.redirector_agent().stats().replicas_eliminated, 0u);
+}
+
+TEST(MgmtScaled, ScaledReplicaRedirectsWithoutChain) {
+  // Figure 2: a scaled (non-FT) web replica; unrelated ports untouched.
+  TestbedConfig config;
+  config.setup = Setup::primary_only;
+  Testbed bed(config);
+
+  // Replace the FT deployment with a scaled one on a second service.
+  net::Endpoint scaled_service{ip(192, 20, 225, 21), 80};
+  bed.agent(0).install_scaled_replica(scaled_service);
+  bed.net().run_for(sim::seconds(1));
+
+  const auto* entry = bed.redirector().lookup(scaled_service);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->mode, redirector::ServiceMode::scaled);
+
+  apps::TtcpReceiver receiver(bed.server(0), scaled_service.address, 80);
+  apps::TtcpTransmitter::Config tx_config;
+  tx_config.server = scaled_service;
+  tx_config.total_bytes = 64 * 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx_config);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(20));
+  EXPECT_TRUE(transmitter.report().finished);
+  EXPECT_EQ(receiver.total_bytes(), 64u * 1024);
+}
+
+TEST(MgmtRecommission, RevivedReplicaRejoinsAndProtectsNewConnections) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 4;
+  Testbed bed(config);
+
+  // Crash the backup; the chain shrinks to the primary alone.
+  bed.crash_server(1);
+  TtcpRun run(bed, 400 * 1024);
+  ASSERT_TRUE(run.transmitter->start().ok());
+  bed.net().run_for(sim::seconds(60));
+  ASSERT_TRUE(run.transmitter->report().finished);
+  ASSERT_EQ(bed.redirector_agent().chain(config.service).size(), 1u);
+
+  // The machine recovers and re-commissions as a backup (§6 future work).
+  bed.server(1).revive();
+  bed.agent(1).rejoin(config.service, config.detector);
+  bed.net().run_for(sim::seconds(2));
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 2u);
+
+  // A new connection is protected: crash the (old) primary mid-stream and
+  // the rejoined backup carries it to completion.  (The first run's
+  // receivers still own the listening port, so its report vectors catch
+  // the new connection too.)
+  apps::TtcpTransmitter::Config tx_config;
+  tx_config.server = config.service;
+  tx_config.total_bytes = 600 * 1024;
+  apps::TtcpTransmitter second(bed.client(), tx_config);
+  ASSERT_TRUE(second.start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(second.report().finished);
+  bed.crash_server(0);
+  bed.net().run_for(sim::seconds(60));
+
+  EXPECT_TRUE(second.report().finished);
+  // server(1) saw no connection while crashed, so the rejoined replica's
+  // first accepted connection is this one — completed byte-exact.
+  ASSERT_FALSE(run.receivers[1]->reports().empty());
+  const auto& report = run.receivers[1]->reports().back();
+  EXPECT_TRUE(report.eof);
+  EXPECT_EQ(report.bytes_received, 600u * 1024);
+  EXPECT_EQ(report.checksum, fnv1a(ttcp_pattern(600 * 1024, 0)));
+}
+
+}  // namespace
+}  // namespace hydranet::mgmt

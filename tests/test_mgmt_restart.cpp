@@ -1,0 +1,147 @@
+// Control-plane resilience: the redirector daemon restarting (tables
+// rebuilt from registration heartbeats) and fencing of eliminated
+// replicas (a zombie's heartbeats must not re-admit it).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/ttcp.hpp"
+#include "mgmt/host_agent.hpp"
+#include "mgmt/redirector_agent.hpp"
+#include "redirector/redirector.hpp"
+#include "test_util.hpp"
+
+namespace hydranet::mgmt {
+namespace {
+
+using testutil::ip;
+
+/// client -- rd -- {s1, s2} with agents and fast heartbeats.
+struct AgentFixture {
+  host::Network net{555};
+  host::Host& client = net.add_host("client");
+  host::Host& rd = net.add_host("rd");
+  host::Host& s1 = net.add_host("s1");
+  host::Host& s2 = net.add_host("s2");
+  redirector::Redirector data_plane{rd};
+  std::unique_ptr<RedirectorAgent> redirector_agent;
+  std::unique_ptr<HostAgent> agent1;
+  std::unique_ptr<HostAgent> agent2;
+  net::Endpoint service{ip(192, 20, 225, 20), 5001};
+  link::Link* s2_link;
+
+  AgentFixture() {
+    net.connect(client, ip(10, 0, 1, 2), rd, ip(10, 0, 1, 1), 24);
+    net.connect(rd, ip(10, 0, 2, 1), s1, ip(10, 0, 2, 2), 24);
+    s2_link = &net.connect(rd, ip(10, 0, 3, 1), s2, ip(10, 0, 3, 2), 24);
+    client.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+    s1.ip().add_default_route(ip(10, 0, 2, 1), nullptr);
+    s2.ip().add_default_route(ip(10, 0, 3, 1), nullptr);
+    rd.ip().add_route(service.address, 32, ip(10, 0, 2, 2), nullptr);
+
+    redirector_agent = std::make_unique<RedirectorAgent>(rd, data_plane);
+    ftcp::DetectorParams detector;
+    detector.retransmission_threshold = 3;
+    agent1 = std::make_unique<HostAgent>(s1, ip(10, 0, 2, 1),
+                                         /*heartbeat=*/sim::seconds(1));
+    agent2 = std::make_unique<HostAgent>(s2, ip(10, 0, 3, 1),
+                                         /*heartbeat=*/sim::seconds(1));
+    agent1->install_replica(service, tcp::ReplicaMode::primary, detector);
+    agent2->install_replica(service, tcp::ReplicaMode::backup, detector);
+    net.run_for(sim::seconds(2));
+  }
+};
+
+TEST(MgmtRestart, RedirectorDaemonRestartRebuildsFromHeartbeats) {
+  AgentFixture fx;
+  ASSERT_EQ(fx.redirector_agent->chain(fx.service).size(), 2u);
+
+  // The redirector "reboots": daemon state AND kernel tables are lost.
+  fx.redirector_agent.reset();
+  fx.data_plane.remove_service(fx.service);
+  ASSERT_EQ(fx.data_plane.lookup(fx.service), nullptr);
+  fx.redirector_agent = std::make_unique<RedirectorAgent>(fx.rd, fx.data_plane);
+
+  // Within a few heartbeat periods the whole deployment re-materialises.
+  fx.net.run_for(sim::seconds(5));
+  auto chain = fx.redirector_agent->chain(fx.service);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], ip(10, 0, 2, 2));  // the primary is back in front
+  EXPECT_EQ(chain[1], ip(10, 0, 3, 2));
+  const auto* entry = fx.data_plane.lookup(fx.service);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->primary, ip(10, 0, 2, 2));
+  ASSERT_EQ(entry->backups.size(), 1u);
+
+  // And it actually serves traffic, fully replicated.
+  apps::TtcpReceiver rx1(fx.s1, fx.service.address, fx.service.port);
+  apps::TtcpReceiver rx2(fx.s2, fx.service.address, fx.service.port);
+  apps::TtcpTransmitter::Config tx;
+  tx.server = fx.service;
+  tx.total_bytes = 128 * 1024;
+  apps::TtcpTransmitter transmitter(fx.client, tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  fx.net.run_for(sim::seconds(30));
+  EXPECT_TRUE(transmitter.report().finished);
+  EXPECT_EQ(rx1.total_bytes(), 128u * 1024);
+  EXPECT_EQ(rx2.total_bytes(), 128u * 1024);
+}
+
+TEST(MgmtRestart, HeartbeatsCauseNoChurnOnAHealthyChain) {
+  AgentFixture fx;
+  std::uint64_t registrations_before =
+      fx.redirector_agent->stats().registrations;
+  auto chain_before = fx.redirector_agent->chain(fx.service);
+  std::uint64_t mgmt_msgs_before = 0;  // proxy: just re-check the chain
+
+  fx.net.run_for(sim::seconds(10));  // ten heartbeat rounds
+  (void)mgmt_msgs_before;
+  // Heartbeats arrived...
+  EXPECT_GT(fx.redirector_agent->stats().registrations,
+            registrations_before + 10);
+  // ...and changed nothing.
+  EXPECT_EQ(fx.redirector_agent->chain(fx.service), chain_before);
+}
+
+TEST(MgmtRestart, ZombieHeartbeatIsFencedAndStoodDown) {
+  AgentFixture fx;
+
+  // Active traffic so the failure estimator has something to watch.
+  apps::TtcpReceiver rx1(fx.s1, fx.service.address, fx.service.port);
+  apps::TtcpReceiver rx2(fx.s2, fx.service.address, fx.service.port);
+  apps::TtcpTransmitter::Config tx;
+  tx.server = fx.service;
+  tx.total_bytes = 16 * 1024 * 1024;
+  apps::TtcpTransmitter transmitter(fx.client, tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  fx.net.run_for(sim::seconds(1));
+
+  // Partition the backup: it gets eliminated, but it is ALIVE behind the
+  // partition and never hears the stand-down order.
+  fx.s2_link->set_down(true);
+  for (int i = 0; i < 600; ++i) {
+    fx.net.run_for(sim::milliseconds(100));
+    if (fx.redirector_agent->chain(fx.service).size() == 1) break;
+  }
+  ASSERT_EQ(fx.redirector_agent->chain(fx.service).size(), 1u);
+  ASSERT_NE(fx.agent2->replica(fx.service), nullptr);  // zombie state
+
+  // Heal the partition.  The zombie's heartbeats resume — and must be
+  // answered with a stand-down, not re-admission.
+  fx.s2_link->set_down(false);
+  fx.net.run_for(sim::seconds(15));
+
+  EXPECT_EQ(fx.redirector_agent->chain(fx.service).size(), 1u);
+  EXPECT_EQ(fx.agent2->replica(fx.service), nullptr);  // stood down
+  EXPECT_GE(fx.agent2->stats().shutdowns, 1u);
+
+  // A deliberate re-install (the operator's decision) lifts the fence.
+  ftcp::DetectorParams detector;
+  detector.retransmission_threshold = 3;
+  fx.agent2->rejoin(fx.service, detector);
+  fx.net.run_for(sim::seconds(3));
+  EXPECT_EQ(fx.redirector_agent->chain(fx.service).size(), 2u);
+}
+
+}  // namespace
+}  // namespace hydranet::mgmt

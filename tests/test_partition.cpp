@@ -1,0 +1,158 @@
+// Network partitions and the redirector as a single point of failure.
+//
+// The paper motivates HydraNet-FT with "site disasters" (a cluster's
+// network link failing).  These tests examine the reproduction's behaviour
+// under partitions the paper does not analyse:
+//
+//   * a partitioned-but-alive primary is eliminated like a crashed one;
+//     when the partition heals, the isolated ex-primary is a "zombie" that
+//     must not be able to corrupt the client's connection to the new
+//     primary (same 4-tuple, same sequence space!);
+//   * the redirector itself is a single point of failure for *redirected*
+//     services — documented, measured behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/ttcp.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+
+namespace hydranet {
+namespace {
+
+using apps::fnv1a;
+using apps::ttcp_pattern;
+using testbed::Setup;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+TEST(Partition, IsolatedPrimaryIsEliminatedLikeACrash) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  const std::size_t total = 3 * 1024 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_FALSE(transmitter.report().finished);
+
+  // Partition, not crash: the primary's LINK goes down; the host lives.
+  bed.server_link(0).set_down(true);
+  bed.net().run_for(sim::seconds(60));
+
+  // Probes could not reach it: eliminated; backup promoted; client done.
+  EXPECT_TRUE(transmitter.report().finished);
+  auto chain = bed.redirector_agent().chain(config.service);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], bed.server_address(1));
+  bool exact = false;
+  for (const auto& report : receivers[1]->reports()) {
+    if (report.eof && report.bytes_received == total &&
+        report.checksum == fnv1a(ttcp_pattern(total, 0))) {
+      exact = true;
+    }
+  }
+  EXPECT_TRUE(exact);
+}
+
+TEST(Partition, HealedZombiePrimaryCannotCorruptTheStream) {
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  config.detector.retransmission_threshold = 3;
+  Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  const std::size_t total = 6 * 1024 * 1024;
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(2));
+
+  // Partition the primary; wait for fail-over to the backup.
+  bed.server_link(0).set_down(true);
+  for (int i = 0; i < 600; ++i) {
+    bed.net().run_for(sim::milliseconds(100));
+    if (bed.redirector_agent().chain(config.service).size() == 1) break;
+  }
+  ASSERT_EQ(bed.redirector_agent().chain(config.service).size(), 1u);
+  ASSERT_FALSE(transmitter.report().finished);
+
+  // HEAL the partition mid-stream: the isolated ex-primary comes back with
+  // live TCP state for the SAME connection (same 4-tuple, same ISS).  Its
+  // pending shutdown order was abandoned long ago — it still believes it
+  // is the primary.  Whatever it emits (retransmissions of old data with
+  // valid sequence numbers) reaches the client alongside the real
+  // primary's stream.
+  bed.net().run_for(sim::seconds(3));
+  bed.server_link(0).set_down(false);
+  bed.net().run_for(sim::seconds(120));
+
+  // The transfer still completes, byte-exact, on the true primary — the
+  // zombie's duplicates are absorbed by ordinary TCP dedup, and its
+  // eventual give-up is silent (fail-stop: no RST to the client).
+  EXPECT_TRUE(transmitter.report().finished);
+  EXPECT_FALSE(transmitter.report().failed);
+  bool exact = false;
+  for (const auto& report : receivers[1]->reports()) {
+    if (report.eof && report.bytes_received == total &&
+        report.checksum == fnv1a(ttcp_pattern(total, 0))) {
+      exact = true;
+    }
+  }
+  EXPECT_TRUE(exact);
+}
+
+TEST(Partition, RedirectorFailureSeversRedirectedServices) {
+  // The documented single point of failure: the paper keeps redirectors
+  // simple and stateful; if one dies, its redirected services are gone
+  // for the clients routing through it.  (Replicating redirectors is
+  // future work in spirit; this test pins the actual behaviour.)
+  TestbedConfig config;
+  config.setup = Setup::primary_backup;
+  config.backups = 1;
+  Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = 8 * 1024 * 1024;
+  tx.tcp = apps::period_tcp_options();
+  tx.tcp.max_retransmits = 5;
+  tx.tcp.max_rto = sim::seconds(4);
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(2));
+  ASSERT_GT(receivers[0]->total_bytes(), 0u);
+
+  bed.redirector_host().crash();
+  bed.net().run_for(sim::seconds(120));
+
+  EXPECT_TRUE(transmitter.report().failed);  // nothing can mask this
+  EXPECT_FALSE(transmitter.report().finished);
+}
+
+}  // namespace
+}  // namespace hydranet

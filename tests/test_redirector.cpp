@@ -1,0 +1,224 @@
+// Redirector data-plane tests: table management, interception, tunnelling,
+// FT multicast, fragment handling, pass-through of unrelated traffic.
+#include <gtest/gtest.h>
+
+#include "redirector/redirector.hpp"
+#include "test_util.hpp"
+
+namespace hydranet::redirector {
+namespace {
+
+using testutil::ip;
+
+constexpr net::IpProto kTestProto = static_cast<net::IpProto>(253);
+
+/// client -- rd -- {s1, s2}: the standard redirection triangle.
+struct RedirFixture : ::testing::Test {
+  host::Network net{77};
+  host::Host& client = net.add_host("client");
+  host::Host& rd = net.add_host("rd");
+  host::Host& s1 = net.add_host("s1");
+  host::Host& s2 = net.add_host("s2");
+  Redirector redirector{rd};
+
+  net::Endpoint service{ip(192, 20, 225, 20), 80};
+
+  RedirFixture() {
+    net.connect(client, ip(10, 0, 1, 2), rd, ip(10, 0, 1, 1), 24);
+    net.connect(rd, ip(10, 0, 2, 1), s1, ip(10, 0, 2, 2), 24);
+    net.connect(rd, ip(10, 0, 3, 1), s2, ip(10, 0, 3, 2), 24);
+    client.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+    s1.ip().add_default_route(ip(10, 0, 2, 1), nullptr);
+    s2.ip().add_default_route(ip(10, 0, 3, 1), nullptr);
+    // Without a table entry, service traffic heads toward s1's subnet.
+    rd.ip().add_route(service.address, 32, ip(10, 0, 2, 2), nullptr);
+  }
+
+  /// Sends a UDP datagram from the client to (dst, port).
+  void send_udp(net::Endpoint to, Bytes payload = {1, 2, 3}) {
+    auto socket = client.udp().bind(net::Ipv4Address(), 0);
+    ASSERT_TRUE(socket.ok());
+    ASSERT_TRUE(socket.value()->send_to(to, payload).ok());
+    socket.value()->close();
+  }
+};
+
+TEST_F(RedirFixture, TableOperations) {
+  EXPECT_EQ(redirector.lookup(service), nullptr);
+  redirector.install_service(service, ServiceMode::fault_tolerant,
+                             ip(10, 0, 2, 2));
+  ASSERT_NE(redirector.lookup(service), nullptr);
+  EXPECT_EQ(redirector.lookup(service)->primary, ip(10, 0, 2, 2));
+
+  EXPECT_TRUE(redirector.add_backup(service, ip(10, 0, 3, 2)).ok());
+  EXPECT_EQ(redirector.add_backup(service, ip(10, 0, 3, 2)).error(),
+            Errc::already_connected);
+  EXPECT_EQ(redirector.lookup(service)->backups.size(), 1u);
+
+  // Promote the backup.
+  EXPECT_TRUE(redirector.set_primary(service, ip(10, 0, 3, 2)).ok());
+  EXPECT_EQ(redirector.lookup(service)->primary, ip(10, 0, 3, 2));
+  EXPECT_EQ(redirector.lookup(service)->backups.front(), ip(10, 0, 2, 2));
+
+  // Removing the primary promotes the first backup in table order.
+  EXPECT_TRUE(redirector.remove_replica(service, ip(10, 0, 3, 2)).ok());
+  EXPECT_EQ(redirector.lookup(service)->primary, ip(10, 0, 2, 2));
+  // Removing the last replica removes the service.
+  EXPECT_TRUE(redirector.remove_replica(service, ip(10, 0, 2, 2)).ok());
+  EXPECT_EQ(redirector.lookup(service), nullptr);
+  EXPECT_EQ(redirector.remove_replica(service, ip(10, 0, 2, 2)).error(),
+            Errc::not_found);
+}
+
+TEST_F(RedirFixture, ScaledServiceRedirectsToHostServer) {
+  s2.v_host(service.address);
+  auto sink = s2.udp().bind(service.address, 80);
+  ASSERT_TRUE(sink.ok());
+  redirector.install_service(service, ServiceMode::scaled, ip(10, 0, 3, 2));
+
+  send_udp(service);
+  net.run();
+  auto got = sink.value()->recv();
+  ASSERT_TRUE(got.ok()) << "datagram was not redirected to the host server";
+  EXPECT_EQ(redirector.stats().redirected_datagrams, 1u);
+  EXPECT_EQ(redirector.stats().copies_sent, 1u);
+}
+
+TEST_F(RedirFixture, FaultTolerantServiceMulticastsToAllReplicas) {
+  s1.v_host(service.address);
+  s2.v_host(service.address);
+  auto sink1 = s1.udp().bind(service.address, 80);
+  auto sink2 = s2.udp().bind(service.address, 80);
+  redirector.install_service(service, ServiceMode::fault_tolerant,
+                             ip(10, 0, 2, 2));
+  ASSERT_TRUE(redirector.add_backup(service, ip(10, 0, 3, 2)).ok());
+
+  Bytes payload{9, 8, 7};
+  send_udp(service, payload);
+  net.run();
+  auto at1 = sink1.value()->recv();
+  auto at2 = sink2.value()->recv();
+  ASSERT_TRUE(at1.ok());
+  ASSERT_TRUE(at2.ok());
+  EXPECT_EQ(at1.value().data, payload);
+  EXPECT_EQ(at2.value().data, payload);
+  // The client's source address survives the tunnel.
+  EXPECT_EQ(at1.value().from.address, ip(10, 0, 1, 2));
+  EXPECT_EQ(redirector.stats().copies_sent, 2u);
+}
+
+TEST_F(RedirFixture, NonMatchingPortForwardsToOrigin) {
+  // The paper's telnet example: port 23 has no table entry, so traffic for
+  // it is forwarded untouched toward the origin host.
+  s1.v_host(service.address);
+  auto telnet = s1.udp().bind(service.address, 23);
+  redirector.install_service(service, ServiceMode::fault_tolerant,
+                             ip(10, 0, 3, 2));  // port 80 only
+
+  send_udp({service.address, 23});
+  net.run();
+  EXPECT_TRUE(telnet.value()->recv().ok());
+  EXPECT_EQ(redirector.stats().redirected_datagrams, 0u);
+  EXPECT_GE(redirector.stats().passed_through, 1u);
+}
+
+TEST_F(RedirFixture, NonTcpUdpTrafficIsNeverTouched) {
+  s1.v_host(service.address);
+  redirector.install_service(service, ServiceMode::fault_tolerant,
+                             ip(10, 0, 3, 2));
+  std::vector<Bytes> at_s1;
+  s1.ip().register_protocol(kTestProto, [&](const net::Ipv4Header&, Bytes p) {
+    at_s1.push_back(std::move(p));
+  });
+  net::Datagram d;
+  d.header.protocol = kTestProto;
+  d.header.dst = service.address;
+  d.payload = {1, 2, 3, 4};  // would parse as ports 0x0102:0x0304
+  ASSERT_TRUE(client.ip().send(std::move(d)).ok());
+  net.run();
+  EXPECT_EQ(at_s1.size(), 1u);
+  EXPECT_EQ(redirector.stats().redirected_datagrams, 0u);
+}
+
+TEST_F(RedirFixture, ReturnTrafficFromServiceIsNotRedirected) {
+  s2.v_host(service.address);
+  auto sink2 = s2.udp().bind(service.address, 80);
+  redirector.install_service(service, ServiceMode::scaled, ip(10, 0, 3, 2));
+  auto client_socket = client.udp().bind(net::Ipv4Address(), 0);
+
+  Bytes ping{1};
+  ASSERT_TRUE(client_socket.value()->send_to(service, ping).ok());
+  net.run();
+  auto request = sink2.value()->recv();
+  ASSERT_TRUE(request.ok());
+
+  Bytes pong{2};
+  ASSERT_TRUE(sink2.value()
+                  ->send_from_to(service.address, request.value().from, pong)
+                  .ok());
+  net.run();
+  auto reply = client_socket.value()->recv();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().from.address, service.address);
+  EXPECT_EQ(redirector.stats().redirected_datagrams, 1u);  // only the ping
+}
+
+TEST_F(RedirFixture, FragmentedDatagramsFollowTheFirstFragmentsDecision) {
+  // Reduce the client-side MTU so a large UDP datagram fragments before
+  // reaching the redirector.
+  host::Network small_net{78};
+  host::Host& c = small_net.add_host("client");
+  host::Host& r = small_net.add_host("rd");
+  host::Host& s = small_net.add_host("server");
+  Redirector rdr{r};
+  link::Link::Config config;
+  small_net.connect(c, ip(10, 0, 1, 2), r, ip(10, 0, 1, 1), 24, config,
+                    /*mtu=*/600);
+  small_net.connect(r, ip(10, 0, 2, 1), s, ip(10, 0, 2, 2), 24, config,
+                    /*mtu=*/600);
+  c.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+  s.ip().add_default_route(ip(10, 0, 2, 1), nullptr);
+
+  net::Endpoint svc{ip(192, 20, 225, 20), 80};
+  s.v_host(svc.address);
+  auto sink = s.udp().bind(svc.address, 80);
+  rdr.install_service(svc, ServiceMode::scaled, ip(10, 0, 2, 2));
+
+  auto socket = c.udp().bind(net::Ipv4Address(), 0);
+  Bytes big(2000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(socket.value()->send_to(svc, big).ok());
+  small_net.run();
+
+  auto got = sink.value()->recv();
+  ASSERT_TRUE(got.ok()) << "fragmented datagram was not fully redirected";
+  EXPECT_EQ(got.value().data, big);
+  EXPECT_GE(rdr.stats().fragment_cache_hits, 2u);
+}
+
+TEST_F(RedirFixture, RemovedReplicaReceivesNoFurtherTraffic) {
+  s1.v_host(service.address);
+  s2.v_host(service.address);
+  auto sink1 = s1.udp().bind(service.address, 80);
+  auto sink2 = s2.udp().bind(service.address, 80);
+  redirector.install_service(service, ServiceMode::fault_tolerant,
+                             ip(10, 0, 2, 2));
+  ASSERT_TRUE(redirector.add_backup(service, ip(10, 0, 3, 2)).ok());
+
+  send_udp(service);
+  net.run();
+  ASSERT_TRUE(sink1.value()->recv().ok());
+  ASSERT_TRUE(sink2.value()->recv().ok());
+
+  // "Shut down" s2: it is eliminated from the multicast set.
+  ASSERT_TRUE(redirector.remove_replica(service, ip(10, 0, 3, 2)).ok());
+  send_udp(service);
+  net.run();
+  EXPECT_TRUE(sink1.value()->recv().ok());
+  EXPECT_EQ(sink2.value()->recv().error(), Errc::would_block);
+}
+
+}  // namespace
+}  // namespace hydranet::redirector

@@ -1,0 +1,233 @@
+// Packet-trace tests: frame decoding (plain, tunnelled, fragmented),
+// filtering, capture bounds — and a protocol-level assertion built on the
+// trace: the ft-TCP wire discipline (only the primary's packets appear on
+// the client's link).
+#include <gtest/gtest.h>
+
+#include "ftcp/ack_channel.hpp"
+#include "net/tunnel.hpp"
+#include "net/udp_header.hpp"
+#include "redirector/redirector.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/packet_trace.hpp"
+
+namespace hydranet::trace {
+namespace {
+
+using testutil::ip;
+using testutil::Pair;
+
+TEST(TraceDecode, PlainTcpSegment) {
+  net::TcpSegment segment;
+  segment.header.src_port = 40000;
+  segment.header.dst_port = 80;
+  segment.header.seq = 1111;
+  segment.header.ack = 2222;
+  segment.header.ack_flag = true;
+  segment.header.psh = true;
+  segment.header.window = 4096;
+  segment.payload = {1, 2, 3};
+  net::Datagram datagram;
+  datagram.header.protocol = net::IpProto::tcp;
+  datagram.header.src = ip(10, 0, 1, 2);
+  datagram.header.dst = ip(192, 20, 225, 20);
+  datagram.payload = net::serialize_tcp(segment, datagram.header.src,
+                                        datagram.header.dst);
+
+  auto entry = decode_frame(datagram.serialize());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->src, ip(10, 0, 1, 2));
+  EXPECT_EQ(entry->dst, ip(192, 20, 225, 20));
+  EXPECT_EQ(entry->protocol, net::IpProto::tcp);
+  EXPECT_EQ(entry->src_port, 40000);
+  EXPECT_EQ(entry->dst_port, 80);
+  EXPECT_EQ(entry->tcp_flags, "PA");
+  EXPECT_EQ(entry->seq, 1111u);
+  EXPECT_EQ(entry->ack, 2222u);
+  EXPECT_EQ(entry->payload_bytes, 3u);
+  EXPECT_FALSE(entry->tunnelled);
+  // Human-readable line contains the essentials.
+  std::string line = entry->to_string();
+  EXPECT_NE(line.find("10.0.1.2:40000"), std::string::npos);
+  EXPECT_NE(line.find("TCP"), std::string::npos);
+  EXPECT_NE(line.find("seq=1111"), std::string::npos);
+}
+
+TEST(TraceDecode, TunnelledDatagramIsUnwrapped) {
+  net::Datagram inner;
+  inner.header.protocol = net::IpProto::udp;
+  inner.header.src = ip(10, 0, 1, 2);
+  inner.header.dst = ip(192, 20, 225, 20);
+  inner.payload = net::serialize_udp({.src_port = 5, .dst_port = 7}, {},
+                                     inner.header.src, inner.header.dst);
+  inner.header.total_length = static_cast<std::uint16_t>(inner.size());
+  net::Datagram outer =
+      net::encapsulate_ipip(inner, ip(10, 0, 1, 1), ip(10, 0, 2, 2));
+
+  auto entry = decode_frame(outer.serialize());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->tunnelled);
+  EXPECT_EQ(entry->tunnel_dst, ip(10, 0, 2, 2));
+  EXPECT_EQ(entry->dst, ip(192, 20, 225, 20));  // inner addresses win
+  EXPECT_EQ(entry->src_port, 5);
+  EXPECT_EQ(entry->dst_port, 7);
+}
+
+TEST(TraceDecode, GarbageReturnsNullopt) {
+  Bytes junk{1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(decode_frame(junk).has_value());
+}
+
+TEST(TraceFilterTest, MatchesByProtocolHostAndPort) {
+  TraceEntry entry;
+  entry.src = ip(10, 0, 0, 1);
+  entry.dst = ip(10, 0, 0, 2);
+  entry.protocol = net::IpProto::tcp;
+  entry.src_port = 1234;
+  entry.dst_port = 80;
+
+  EXPECT_TRUE(TraceFilter{}.matches(entry));
+  {
+    TraceFilter f;
+    f.protocol = net::IpProto::tcp;
+    EXPECT_TRUE(f.matches(entry));
+  }
+  {
+    TraceFilter f;
+    f.protocol = net::IpProto::udp;
+    EXPECT_FALSE(f.matches(entry));
+  }
+  {
+    TraceFilter f;
+    f.host = ip(10, 0, 0, 2);
+    EXPECT_TRUE(f.matches(entry));
+  }
+  {
+    TraceFilter f;
+    f.host = ip(9, 9, 9, 9);
+    EXPECT_FALSE(f.matches(entry));
+  }
+  {
+    TraceFilter f;
+    f.port = 80;
+    EXPECT_TRUE(f.matches(entry));
+  }
+  {
+    TraceFilter f;
+    f.port = 81;
+    EXPECT_FALSE(f.matches(entry));
+  }
+}
+
+TEST(TraceCapture, RecordsHandshakeInOrder) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler());
+  capture.attach(pair.link, "ab");
+
+  testutil::ByteSinkServer server(pair.b, net::Ipv4Address(), 80);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  auto conn = client.value();
+  conn->set_on_established([conn] { conn->close(); });
+  pair.net.run();
+
+  ASSERT_GE(capture.entries().size(), 3u);
+  EXPECT_EQ(capture.entries()[0].tcp_flags, "S");
+  EXPECT_EQ(capture.entries()[1].tcp_flags, "SA");
+  // The handshake-completing ACK may carry the immediate FIN ("FA").
+  EXPECT_NE(capture.entries()[2].tcp_flags.find('A'), std::string::npos);
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < capture.entries().size(); ++i) {
+    EXPECT_LE(capture.entries()[i - 1].at.ns, capture.entries()[i].at.ns);
+  }
+}
+
+TEST(TraceCapture, CapacityBoundsAreEnforced) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler(), /*max_entries=*/10);
+  capture.attach(pair.link, "ab");
+  testutil::ByteSinkServer server(pair.b, net::Ipv4Address(), 80);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  auto conn = client.value();
+  conn->set_on_established([conn] {
+    Bytes big(32 * 1024, 0x11);
+    (void)conn->send(big);
+    conn->close();
+  });
+  pair.net.run();
+  EXPECT_EQ(capture.entries().size(), 10u);
+  EXPECT_GT(capture.dropped(), 0u);
+}
+
+TEST(TraceCapture, SelectAndDump) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler());
+  capture.attach(pair.link, "ab");
+  testutil::ByteSinkServer tcp_server(pair.b, net::Ipv4Address(), 80);
+  auto udp_server = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  ASSERT_TRUE(udp_server.ok());
+  auto udp_client = pair.a.udp().bind(net::Ipv4Address(), 0);
+  Bytes hello{1};
+  (void)udp_client.value()->send_to({ip(10, 0, 0, 2), 9000}, hello);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  client.value()->set_on_established([c = client.value()] { c->close(); });
+  pair.net.run();
+
+  TraceFilter udp_filter;
+  udp_filter.protocol = net::IpProto::udp;
+  auto udp_only = capture.select(udp_filter);
+  ASSERT_EQ(udp_only.size(), 1u);
+  EXPECT_EQ(udp_only[0].dst_port, 9000);
+  TraceFilter tcp_filter;
+  tcp_filter.protocol = net::IpProto::tcp;
+  auto tcp_only = capture.select(tcp_filter);
+  EXPECT_GE(tcp_only.size(), 3u);
+  EXPECT_EQ(udp_only.size() + tcp_only.size(), capture.entries().size());
+
+  std::string dump = capture.dump();
+  EXPECT_NE(dump.find("UDP"), std::string::npos);
+  EXPECT_NE(dump.find("TCP"), std::string::npos);
+}
+
+// The wire-discipline check the backup-silence rule deserves: on the
+// client's access link, every server->client packet originates from the
+// service address via the primary — none from the backup, ever.
+TEST(TraceFtWireDiscipline, OnlyPrimaryTrafficOnTheClientLink) {
+  testbed::TestbedConfig config;
+  config.setup = testbed::Setup::primary_backup;
+  config.backups = 2;
+  testbed::Testbed bed(config);
+
+  PacketTrace capture(bed.scheduler());
+  capture.attach(bed.client_link(), "c-rd");
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = 128 * 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  ASSERT_TRUE(transmitter.start().ok());
+  bed.net().run_for(sim::seconds(30));
+  ASSERT_TRUE(transmitter.report().finished);
+
+  std::size_t toward_client = 0;
+  for (const TraceEntry& entry : capture.entries()) {
+    if (entry.dst == ip(10, 0, 1, 2)) {
+      toward_client++;
+      // Single service access point: everything the client hears comes
+      // from the service address/port, nothing else (no replica-host
+      // addresses, no ack-channel traffic, no management traffic).
+      EXPECT_EQ(entry.src, config.service.address);
+      EXPECT_EQ(entry.src_port, config.service.port);
+      EXPECT_EQ(entry.protocol, net::IpProto::tcp);
+    }
+  }
+  EXPECT_GT(toward_client, 0u);
+}
+
+}  // namespace
+}  // namespace hydranet::trace

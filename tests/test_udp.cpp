@@ -1,0 +1,176 @@
+// UDP socket tests: bind/demux, send/recv, wildcard vs exact binds,
+// ephemeral ports, virtual-host sources.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "udp/udp.hpp"
+
+namespace hydranet::udp {
+namespace {
+
+using testutil::ip;
+using testutil::Pair;
+
+TEST(Udp, SendReceiveRoundTrip) {
+  Pair pair;
+  auto server = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  ASSERT_TRUE(server.ok());
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+  ASSERT_TRUE(client.ok());
+
+  Bytes payload{1, 2, 3};
+  ASSERT_TRUE(client.value()
+                  ->send_to({ip(10, 0, 0, 2), 9000}, payload)
+                  .ok());
+  pair.net.run();
+
+  auto received = server.value()->recv();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().data, payload);
+  EXPECT_EQ(received.value().from.address, ip(10, 0, 0, 1));
+  EXPECT_EQ(received.value().from.port, client.value()->local().port);
+
+  // Reply using the source endpoint from the request.
+  Bytes reply{9};
+  ASSERT_TRUE(server.value()->send_to(received.value().from, reply).ok());
+  pair.net.run();
+  auto echoed = client.value()->recv();
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed.value().data, reply);
+}
+
+TEST(Udp, RxHandlerDrainsQueueAndStreams) {
+  Pair pair;
+  auto server = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+
+  Bytes one{1};
+  (void)client.value()->send_to({ip(10, 0, 0, 2), 9000}, one);
+  pair.net.run();
+
+  std::vector<Bytes> got;
+  server.value()->set_rx_handler(
+      [&](const net::Endpoint&, Bytes data) { got.push_back(std::move(data)); });
+  EXPECT_EQ(got.size(), 1u);  // queued datagram drained on install
+
+  Bytes two{2};
+  (void)client.value()->send_to({ip(10, 0, 0, 2), 9000}, two);
+  pair.net.run();
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(Udp, ExactBindBeatsWildcard) {
+  Pair pair;
+  pair.b.v_host(ip(192, 20, 225, 20));
+  pair.a.ip().add_route(ip(192, 20, 225, 20), 32, ip(10, 0, 0, 2), nullptr);
+
+  auto wildcard = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  auto exact = pair.b.udp().bind(ip(192, 20, 225, 20), 9000);
+  ASSERT_TRUE(wildcard.ok());
+  ASSERT_TRUE(exact.ok());
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+
+  Bytes to_vhost{1};
+  Bytes to_host{2};
+  (void)client.value()->send_to({ip(192, 20, 225, 20), 9000}, to_vhost);
+  (void)client.value()->send_to({ip(10, 0, 0, 2), 9000}, to_host);
+  pair.net.run();
+
+  auto at_exact = exact.value()->recv();
+  ASSERT_TRUE(at_exact.ok());
+  EXPECT_EQ(at_exact.value().data, to_vhost);
+  auto at_wildcard = wildcard.value()->recv();
+  ASSERT_TRUE(at_wildcard.ok());
+  EXPECT_EQ(at_wildcard.value().data, to_host);
+}
+
+TEST(Udp, DuplicateBindRejected) {
+  Pair pair;
+  ASSERT_TRUE(pair.b.udp().bind(net::Ipv4Address(), 9000).ok());
+  EXPECT_EQ(pair.b.udp().bind(net::Ipv4Address(), 9000).error(),
+            Errc::address_in_use);
+}
+
+TEST(Udp, BindToForeignAddressRejected) {
+  Pair pair;
+  EXPECT_EQ(pair.b.udp().bind(ip(1, 2, 3, 4), 9000).error(),
+            Errc::invalid_argument);
+}
+
+TEST(Udp, CloseUnbindsAndStopsDelivery) {
+  Pair pair;
+  auto server = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+  server.value()->close();
+
+  Bytes data{1};
+  (void)client.value()->send_to({ip(10, 0, 0, 2), 9000}, data);
+  pair.net.run();
+  // Rebinding works and the old datagram is gone.
+  auto again = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->recv().error(), Errc::would_block);
+}
+
+TEST(Udp, EphemeralPortsAreDistinct) {
+  Pair pair;
+  auto s1 = pair.a.udp().bind(net::Ipv4Address(), 0);
+  auto s2 = pair.a.udp().bind(net::Ipv4Address(), 0);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(s1.value()->local().port, s2.value()->local().port);
+  EXPECT_GE(s1.value()->local().port, 49152);
+}
+
+TEST(Udp, ReplyFromVirtualHostAddress) {
+  Pair pair;
+  pair.b.v_host(ip(192, 20, 225, 20));
+  pair.a.ip().add_route(ip(192, 20, 225, 20), 32, ip(10, 0, 0, 2), nullptr);
+  auto service = pair.b.udp().bind(ip(192, 20, 225, 20), 9000);
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+
+  Bytes ask{1};
+  (void)client.value()->send_to({ip(192, 20, 225, 20), 9000}, ask);
+  pair.net.run();
+  auto request = service.value()->recv();
+  ASSERT_TRUE(request.ok());
+
+  Bytes answer{2};
+  ASSERT_TRUE(service.value()
+                  ->send_from_to(ip(192, 20, 225, 20), request.value().from,
+                                 answer)
+                  .ok());
+  pair.net.run();
+  auto reply = client.value()->recv();
+  ASSERT_TRUE(reply.ok());
+  // The reply appears to come from the virtual host, not the real one.
+  EXPECT_EQ(reply.value().from.address, ip(192, 20, 225, 20));
+}
+
+TEST(Udp, OversizedDatagramRejected) {
+  Pair pair;
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+  Bytes huge(70000, 0);
+  EXPECT_EQ(client.value()->send_to({ip(10, 0, 0, 2), 9}, huge).error(),
+            Errc::message_too_big);
+}
+
+TEST(Udp, QueueOverflowDropsAndCounts) {
+  link::Link::Config roomy;
+  roomy.queue_capacity_packets = 1024;  // overflow the socket, not the link
+  Pair pair(roomy);
+  auto server = pair.b.udp().bind(net::Ipv4Address(), 9000);
+  auto client = pair.a.udp().bind(net::Ipv4Address(), 0);
+  Bytes data{1};
+  for (int i = 0; i < 300; ++i) {
+    (void)client.value()->send_to({ip(10, 0, 0, 2), 9000}, data);
+  }
+  pair.net.run();
+  std::size_t drained = 0;
+  while (server.value()->recv().ok()) drained++;
+  EXPECT_EQ(drained, 256u);  // kMaxQueued
+  EXPECT_GE(server.value()->datagrams_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace hydranet::udp

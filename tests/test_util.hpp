@@ -1,0 +1,94 @@
+// Shared fixtures for protocol-level tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/ttcp.hpp"
+#include "host/network.hpp"
+#include "link/loss_model.hpp"
+
+namespace hydranet::testutil {
+
+inline net::Ipv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                           std::uint8_t d) {
+  return net::Ipv4Address(a, b, c, d);
+}
+
+/// Two hosts on one subnet: a = 10.0.0.1, b = 10.0.0.2.
+struct Pair {
+  host::Network net;
+  host::Host& a;
+  host::Host& b;
+  link::Link& link;
+
+  explicit Pair(link::Link::Config config = {}, std::size_t mtu = 1500,
+                std::uint64_t seed = 1234)
+      : net(seed),
+        a(net.add_host("a")),
+        b(net.add_host("b")),
+        link(net.connect(a, ip(10, 0, 0, 1), b, ip(10, 0, 0, 2), 24, config,
+                         mtu)) {}
+};
+
+/// Drops exactly the frames whose 1-based index (among frames of at least
+/// `min_size` bytes) is in `targets`.  A min_size above ~100 restricts the
+/// count to data segments, skipping handshake frames and pure ACKs.
+class DropNth final : public link::LossModel {
+ public:
+  explicit DropNth(std::vector<std::uint64_t> targets,
+                   std::size_t min_size = 0)
+      : targets_(std::move(targets)), min_size_(min_size) {}
+  bool should_drop(Rng&, std::size_t frame_size) override {
+    if (frame_size < min_size_) return false;
+    ++count_;
+    for (std::uint64_t t : targets_) {
+      if (t == count_) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> targets_;
+  std::size_t min_size_;
+  std::uint64_t count_ = 0;
+};
+
+/// Server that accepts one connection, stores everything received, and
+/// optionally echoes it back; closes when the peer closes.
+struct ByteSinkServer {
+  host::Host& host;
+  bool echo;
+  Bytes received;
+  bool eof = false;
+  std::shared_ptr<tcp::TcpConnection> connection;
+
+  ByteSinkServer(host::Host& h, net::Ipv4Address address, std::uint16_t port,
+                 bool echo_back = false, tcp::TcpOptions options = {})
+      : host(h), echo(echo_back) {
+    auto listener = host.tcp().listen(
+        address, port,
+        [this](std::shared_ptr<tcp::TcpConnection> conn) {
+          connection = conn;
+          auto* raw = conn.get();
+          conn->set_on_readable([this, raw] {
+            for (;;) {
+              auto data = raw->recv(64 * 1024);
+              if (!data) return;
+              if (data.value().empty()) {
+                eof = true;
+                raw->close();
+                return;
+              }
+              received.insert(received.end(), data.value().begin(),
+                              data.value().end());
+              if (echo) (void)raw->send(data.value());
+            }
+          });
+        },
+        options);
+    (void)listener;
+  }
+};
+
+}  // namespace hydranet::testutil

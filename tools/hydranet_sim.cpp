@@ -1,0 +1,312 @@
+// hydranet_sim — run HydraNet-FT experiments from the command line.
+//
+// Subcommands:
+//   ttcp      one throughput measurement on the paper's testbed
+//   sweep     a Figure-4-style write-size sweep (CSV output)
+//   failover  crash a replica mid-stream; report detection & completion
+//   trace     run traffic and dump a tcpdump-style capture
+//   ping      ICMP reachability through the deployed topology
+//
+// Examples:
+//   hydranet_sim ttcp --setup backup --backups 2 --size 512
+//   hydranet_sim sweep --setup clean --sizes 16,64,256,1024
+//   hydranet_sim failover --threshold 4 --crash-at 2000
+//   hydranet_sim trace --max 40
+#include "common/logging.hpp"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/ttcp.hpp"
+#include "testbed/testbed.hpp"
+#include "trace/packet_trace.hpp"
+
+using namespace hydranet;
+
+namespace {
+
+struct Options {
+  std::string command;
+  testbed::Setup setup = testbed::Setup::primary_backup;
+  int backups = 1;
+  std::size_t write_size = 1024;
+  std::size_t total_bytes = 1024 * 1024;
+  std::size_t mss = 1460;
+  double loss = 0.0;
+  std::uint64_t seed = 42;
+  int threshold = 4;
+  std::int64_t crash_at_ms = 2000;
+  int crash_index = 0;
+  std::size_t max_trace = 60;
+  std::vector<std::size_t> sizes = {16, 32, 64, 128, 256, 512, 1024};
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <ttcp|sweep|failover|trace|ping> [options]\n"
+      "  --setup clean|noredir|primary|backup   testbed configuration\n"
+      "  --backups N        backup replicas (setup backup)\n"
+      "  --size BYTES       application write size\n"
+      "  --total BYTES      bytes to transfer\n"
+      "  --mss BYTES        TCP maximum segment size\n"
+      "  --loss P           Bernoulli loss on the client link (0..1)\n"
+      "  --seed N           simulation seed\n"
+      "  --threshold N      failure-detection retransmission threshold\n"
+      "  --crash-at MS      (failover) when to crash, after traffic start\n"
+      "  --crash-index I    (failover) which server dies (0 = primary)\n"
+      "  --sizes a,b,c      (sweep) write sizes\n"
+      "  --max N            (trace) max lines to print\n",
+      argv0);
+  std::exit(2);
+}
+
+testbed::Setup parse_setup(const std::string& name) {
+  if (name == "clean") return testbed::Setup::clean;
+  if (name == "noredir") return testbed::Setup::no_redirection;
+  if (name == "primary") return testbed::Setup::primary_only;
+  if (name == "backup") return testbed::Setup::primary_backup;
+  std::fprintf(stderr, "unknown setup '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Options options;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--setup") {
+      options.setup = parse_setup(value());
+    } else if (flag == "--backups") {
+      options.backups = std::atoi(value().c_str());
+    } else if (flag == "--size") {
+      options.write_size = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--total") {
+      options.total_bytes = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--mss") {
+      options.mss = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--loss") {
+      options.loss = std::atof(value().c_str());
+    } else if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+    } else if (flag == "--threshold") {
+      options.threshold = std::atoi(value().c_str());
+    } else if (flag == "--crash-at") {
+      options.crash_at_ms = std::atoll(value().c_str());
+    } else if (flag == "--crash-index") {
+      options.crash_index = std::atoi(value().c_str());
+    } else if (flag == "--max") {
+      options.max_trace = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--sizes") {
+      options.sizes.clear();
+      std::string list = value();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        options.sizes.push_back(static_cast<std::size_t>(
+            std::atoll(list.substr(pos, comma - pos).c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+struct RunResult {
+  double throughput_kBps = 0;
+  bool finished = false;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  double elapsed_s = 0;
+};
+
+RunResult run_ttcp_once(const Options& options,
+                        testbed::Testbed* prebuilt = nullptr,
+                        std::int64_t crash_at_ms = -1, int crash_index = 0) {
+  testbed::TestbedConfig config;
+  config.setup = options.setup;
+  config.backups = options.backups;
+  config.seed = options.seed;
+  config.detector.retransmission_threshold = options.threshold;
+  std::unique_ptr<testbed::Testbed> owned;
+  testbed::Testbed* bed = prebuilt;
+  if (bed == nullptr) {
+    owned = std::make_unique<testbed::Testbed>(config);
+    bed = owned.get();
+  }
+  if (options.loss > 0) {
+    bed->client_link().set_loss_model(
+        std::make_unique<link::BernoulliLoss>(options.loss));
+  }
+
+  tcp::TcpOptions tcp_options = apps::period_tcp_options();
+  tcp_options.mss = options.mss;
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed->server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed->server(i), config.service.address, config.service.port,
+        tcp_options));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.write_size = options.write_size;
+  tx.total_bytes = options.total_bytes;
+  tx.tcp = tcp_options;
+  apps::TtcpTransmitter transmitter(bed->client(), tx);
+  if (!transmitter.start().ok()) return {};
+
+  if (crash_at_ms >= 0) {
+    bed->net().run_for(sim::milliseconds(crash_at_ms));
+    if (!transmitter.report().finished &&
+        crash_index < static_cast<int>(bed->server_count())) {
+      std::printf("t=%.3fs crashing server %d\n", bed->net().now().seconds(),
+                  crash_index);
+      bed->crash_server(static_cast<std::size_t>(crash_index));
+    }
+  }
+  sim::TimePoint deadline = bed->net().now() + sim::seconds(600);
+  while (bed->net().now() < deadline && !transmitter.report().finished &&
+         !transmitter.report().failed) {
+    bed->net().run_for(sim::milliseconds(500));
+  }
+  bed->net().run_for(sim::seconds(1));
+
+  RunResult result;
+  result.finished = transmitter.report().finished;
+  if (transmitter.connection()) {
+    result.retransmits = transmitter.connection()->stats().retransmits;
+    result.timeouts = transmitter.connection()->stats().timeouts;
+  }
+  for (auto& receiver : receivers) {
+    for (const auto& report : receiver->reports()) {
+      if (report.eof && report.throughput_kBps() > result.throughput_kBps) {
+        result.throughput_kBps = report.throughput_kBps();
+        result.elapsed_s = (report.eof_at - report.first_byte_at).seconds();
+      }
+    }
+  }
+  return result;
+}
+
+int cmd_ttcp(const Options& options) {
+  RunResult result = run_ttcp_once(options);
+  std::printf("setup=%s backups=%d size=%zu total=%zu loss=%.3f seed=%llu\n",
+              testbed::to_string(options.setup), options.backups,
+              options.write_size, options.total_bytes, options.loss,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("throughput %.1f kB/s, %s, %.2f s, %llu retransmits, "
+              "%llu timeouts\n",
+              result.throughput_kBps,
+              result.finished ? "finished" : "DID NOT FINISH",
+              result.elapsed_s,
+              static_cast<unsigned long long>(result.retransmits),
+              static_cast<unsigned long long>(result.timeouts));
+  return result.finished ? 0 : 1;
+}
+
+int cmd_sweep(const Options& options) {
+  std::printf("csv,setup,size,kBps,retransmits,timeouts\n");
+  for (std::size_t size : options.sizes) {
+    Options one = options;
+    one.write_size = size;
+    one.total_bytes = std::clamp<std::size_t>(size * 1500, 96 * 1024,
+                                              2 * 1024 * 1024);
+    RunResult result = run_ttcp_once(one);
+    std::printf("csv,%s,%zu,%.1f,%llu,%llu\n",
+                testbed::to_string(options.setup), size,
+                result.throughput_kBps,
+                static_cast<unsigned long long>(result.retransmits),
+                static_cast<unsigned long long>(result.timeouts));
+  }
+  return 0;
+}
+
+int cmd_failover(const Options& options) {
+  Options one = options;
+  one.setup = testbed::Setup::primary_backup;
+  RunResult result =
+      run_ttcp_once(one, nullptr, options.crash_at_ms, options.crash_index);
+  std::printf("failover run: %s, %.1f kB/s end-to-end, %llu retransmits, "
+              "%llu timeouts\n",
+              result.finished ? "stream completed" : "STREAM FAILED",
+              result.throughput_kBps,
+              static_cast<unsigned long long>(result.retransmits),
+              static_cast<unsigned long long>(result.timeouts));
+  return result.finished ? 0 : 1;
+}
+
+int cmd_trace(const Options& options) {
+  testbed::TestbedConfig config;
+  config.setup = options.setup;
+  config.backups = options.backups;
+  config.seed = options.seed;
+  testbed::Testbed bed(config);
+  trace::PacketTrace capture(bed.scheduler(), options.max_trace);
+  capture.attach(bed.client_link(), "cli-rd");
+
+  tcp::TcpOptions tcp_options = apps::period_tcp_options();
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port,
+        tcp_options));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.write_size = options.write_size;
+  tx.total_bytes = std::min<std::size_t>(options.total_bytes, 64 * 1024);
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  (void)transmitter.start();
+  bed.net().run_for(sim::seconds(30));
+  std::fputs(capture.dump().c_str(), stdout);
+  if (capture.dropped() > 0) {
+    std::printf("... %zu more frames not shown (--max %zu)\n",
+                capture.dropped(), options.max_trace);
+  }
+  return 0;
+}
+
+int cmd_ping(const Options& options) {
+  testbed::TestbedConfig config;
+  config.setup = options.setup;
+  config.backups = options.backups;
+  testbed::Testbed bed(config);
+  int exit_code = 1;
+  bed.client().icmp().ping(config.service.address,
+                           [&](const icmp::IcmpStack::PingReply& reply) {
+                             if (reply.ok) {
+                               std::printf("reply from %s: rtt %.3f ms\n",
+                                           reply.from.to_string().c_str(),
+                                           reply.rtt.millis());
+                               exit_code = 0;
+                             } else {
+                               std::printf("no reply\n");
+                             }
+                           });
+  bed.net().run_for(sim::seconds(3));
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::error);
+  Options options = parse(argc, argv);
+  if (options.command == "ttcp") return cmd_ttcp(options);
+  if (options.command == "sweep") return cmd_sweep(options);
+  if (options.command == "failover") return cmd_failover(options);
+  if (options.command == "trace") return cmd_trace(options);
+  if (options.command == "ping") return cmd_ping(options);
+  usage(argv[0]);
+}
