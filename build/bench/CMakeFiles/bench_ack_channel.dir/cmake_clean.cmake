@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ack_channel.dir/bench_ack_channel.cpp.o"
+  "CMakeFiles/bench_ack_channel.dir/bench_ack_channel.cpp.o.d"
+  "bench_ack_channel"
+  "bench_ack_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ack_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redirector.dir/bench_redirector.cpp.o"
+  "CMakeFiles/bench_redirector.dir/bench_redirector.cpp.o.d"
+  "bench_redirector"
+  "bench_redirector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

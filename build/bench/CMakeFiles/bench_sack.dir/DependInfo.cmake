@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sack.cpp" "bench/CMakeFiles/bench_sack.dir/bench_sack.cpp.o" "gcc" "bench/CMakeFiles/bench_sack.dir/bench_sack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hydranet_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/hydranet_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftcp/CMakeFiles/hydranet_ftcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/redirector/CMakeFiles/hydranet_redirector.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hydranet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/hydranet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/hydranet_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/hydranet_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/icmp/CMakeFiles/hydranet_icmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/hydranet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hydranet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydranet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydranet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydranet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

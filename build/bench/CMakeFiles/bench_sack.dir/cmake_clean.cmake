@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sack.dir/bench_sack.cpp.o"
+  "CMakeFiles/bench_sack.dir/bench_sack.cpp.o.d"
+  "bench_sack"
+  "bench_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brokerage.dir/brokerage.cpp.o"
+  "CMakeFiles/brokerage.dir/brokerage.cpp.o.d"
+  "brokerage"
+  "brokerage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brokerage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

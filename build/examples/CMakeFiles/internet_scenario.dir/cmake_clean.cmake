@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_scenario.dir/internet_scenario.cpp.o"
+  "CMakeFiles/internet_scenario.dir/internet_scenario.cpp.o.d"
+  "internet_scenario"
+  "internet_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

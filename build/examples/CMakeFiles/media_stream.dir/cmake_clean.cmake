@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_stream.dir/media_stream.cpp.o"
+  "CMakeFiles/media_stream.dir/media_stream.cpp.o.d"
+  "media_stream"
+  "media_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

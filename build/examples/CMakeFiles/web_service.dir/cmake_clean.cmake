@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_service.dir/web_service.cpp.o"
+  "CMakeFiles/web_service.dir/web_service.cpp.o.d"
+  "web_service"
+  "web_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

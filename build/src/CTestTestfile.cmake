@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("link")
+subdirs("ip")
+subdirs("udp")
+subdirs("icmp")
+subdirs("tcp")
+subdirs("host")
+subdirs("redirector")
+subdirs("ftcp")
+subdirs("mgmt")
+subdirs("apps")
+subdirs("testbed")
+subdirs("trace")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_apps.dir/http.cpp.o"
+  "CMakeFiles/hydranet_apps.dir/http.cpp.o.d"
+  "CMakeFiles/hydranet_apps.dir/session.cpp.o"
+  "CMakeFiles/hydranet_apps.dir/session.cpp.o.d"
+  "CMakeFiles/hydranet_apps.dir/stream.cpp.o"
+  "CMakeFiles/hydranet_apps.dir/stream.cpp.o.d"
+  "CMakeFiles/hydranet_apps.dir/ttcp.cpp.o"
+  "CMakeFiles/hydranet_apps.dir/ttcp.cpp.o.d"
+  "libhydranet_apps.a"
+  "libhydranet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

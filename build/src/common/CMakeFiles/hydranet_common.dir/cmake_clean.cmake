@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_common.dir/bytes.cpp.o"
+  "CMakeFiles/hydranet_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hydranet_common.dir/logging.cpp.o"
+  "CMakeFiles/hydranet_common.dir/logging.cpp.o.d"
+  "libhydranet_common.a"
+  "libhydranet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_ftcp.dir/ack_channel.cpp.o"
+  "CMakeFiles/hydranet_ftcp.dir/ack_channel.cpp.o.d"
+  "CMakeFiles/hydranet_ftcp.dir/replicated_service.cpp.o"
+  "CMakeFiles/hydranet_ftcp.dir/replicated_service.cpp.o.d"
+  "libhydranet_ftcp.a"
+  "libhydranet_ftcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_ftcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hydranet_ftcp.
+# This may be replaced when dependencies are built.

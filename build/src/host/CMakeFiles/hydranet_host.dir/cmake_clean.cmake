@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_host.dir/network.cpp.o"
+  "CMakeFiles/hydranet_host.dir/network.cpp.o.d"
+  "libhydranet_host.a"
+  "libhydranet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_icmp.dir/icmp.cpp.o"
+  "CMakeFiles/hydranet_icmp.dir/icmp.cpp.o.d"
+  "libhydranet_icmp.a"
+  "libhydranet_icmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_ip.dir/ip_stack.cpp.o"
+  "CMakeFiles/hydranet_ip.dir/ip_stack.cpp.o.d"
+  "libhydranet_ip.a"
+  "libhydranet_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

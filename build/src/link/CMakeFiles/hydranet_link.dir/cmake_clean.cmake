@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_link.dir/link.cpp.o"
+  "CMakeFiles/hydranet_link.dir/link.cpp.o.d"
+  "libhydranet_link.a"
+  "libhydranet_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

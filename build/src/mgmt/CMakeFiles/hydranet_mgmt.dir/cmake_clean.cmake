@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_mgmt.dir/host_agent.cpp.o"
+  "CMakeFiles/hydranet_mgmt.dir/host_agent.cpp.o.d"
+  "CMakeFiles/hydranet_mgmt.dir/protocol.cpp.o"
+  "CMakeFiles/hydranet_mgmt.dir/protocol.cpp.o.d"
+  "CMakeFiles/hydranet_mgmt.dir/redirector_agent.cpp.o"
+  "CMakeFiles/hydranet_mgmt.dir/redirector_agent.cpp.o.d"
+  "libhydranet_mgmt.a"
+  "libhydranet_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

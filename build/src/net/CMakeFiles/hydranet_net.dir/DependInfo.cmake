@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/hydranet_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/hydranet_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/hydranet_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/hydranet_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/tcp_header.cpp" "src/net/CMakeFiles/hydranet_net.dir/tcp_header.cpp.o" "gcc" "src/net/CMakeFiles/hydranet_net.dir/tcp_header.cpp.o.d"
+  "/root/repo/src/net/tunnel.cpp" "src/net/CMakeFiles/hydranet_net.dir/tunnel.cpp.o" "gcc" "src/net/CMakeFiles/hydranet_net.dir/tunnel.cpp.o.d"
+  "/root/repo/src/net/udp_header.cpp" "src/net/CMakeFiles/hydranet_net.dir/udp_header.cpp.o" "gcc" "src/net/CMakeFiles/hydranet_net.dir/udp_header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydranet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

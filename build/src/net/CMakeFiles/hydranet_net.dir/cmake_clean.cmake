@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_net.dir/address.cpp.o"
+  "CMakeFiles/hydranet_net.dir/address.cpp.o.d"
+  "CMakeFiles/hydranet_net.dir/ipv4.cpp.o"
+  "CMakeFiles/hydranet_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/hydranet_net.dir/tcp_header.cpp.o"
+  "CMakeFiles/hydranet_net.dir/tcp_header.cpp.o.d"
+  "CMakeFiles/hydranet_net.dir/tunnel.cpp.o"
+  "CMakeFiles/hydranet_net.dir/tunnel.cpp.o.d"
+  "CMakeFiles/hydranet_net.dir/udp_header.cpp.o"
+  "CMakeFiles/hydranet_net.dir/udp_header.cpp.o.d"
+  "libhydranet_net.a"
+  "libhydranet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

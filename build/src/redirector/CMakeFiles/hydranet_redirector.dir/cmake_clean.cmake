@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_redirector.dir/redirector.cpp.o"
+  "CMakeFiles/hydranet_redirector.dir/redirector.cpp.o.d"
+  "libhydranet_redirector.a"
+  "libhydranet_redirector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhydranet_redirector.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for hydranet_redirector.
+# This may be replaced when dependencies are built.

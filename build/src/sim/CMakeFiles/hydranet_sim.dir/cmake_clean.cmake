@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hydranet_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hydranet_sim.dir/time.cpp.o"
+  "CMakeFiles/hydranet_sim.dir/time.cpp.o.d"
+  "libhydranet_sim.a"
+  "libhydranet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

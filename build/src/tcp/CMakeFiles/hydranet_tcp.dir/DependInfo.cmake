@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/reassembly.cpp" "src/tcp/CMakeFiles/hydranet_tcp.dir/reassembly.cpp.o" "gcc" "src/tcp/CMakeFiles/hydranet_tcp.dir/reassembly.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/tcp/CMakeFiles/hydranet_tcp.dir/tcp_connection.cpp.o" "gcc" "src/tcp/CMakeFiles/hydranet_tcp.dir/tcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/tcp_stack.cpp" "src/tcp/CMakeFiles/hydranet_tcp.dir/tcp_stack.cpp.o" "gcc" "src/tcp/CMakeFiles/hydranet_tcp.dir/tcp_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydranet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydranet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hydranet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/hydranet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/hydranet_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

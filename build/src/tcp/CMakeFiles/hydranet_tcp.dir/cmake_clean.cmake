@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_tcp.dir/reassembly.cpp.o"
+  "CMakeFiles/hydranet_tcp.dir/reassembly.cpp.o.d"
+  "CMakeFiles/hydranet_tcp.dir/tcp_connection.cpp.o"
+  "CMakeFiles/hydranet_tcp.dir/tcp_connection.cpp.o.d"
+  "CMakeFiles/hydranet_tcp.dir/tcp_stack.cpp.o"
+  "CMakeFiles/hydranet_tcp.dir/tcp_stack.cpp.o.d"
+  "libhydranet_tcp.a"
+  "libhydranet_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

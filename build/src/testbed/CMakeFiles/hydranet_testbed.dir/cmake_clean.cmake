@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/hydranet_testbed.dir/testbed.cpp.o.d"
+  "libhydranet_testbed.a"
+  "libhydranet_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

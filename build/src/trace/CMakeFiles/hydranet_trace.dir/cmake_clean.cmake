@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/hydranet_trace.dir/packet_trace.cpp.o.d"
+  "libhydranet_trace.a"
+  "libhydranet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_udp.dir/udp.cpp.o"
+  "CMakeFiles/hydranet_udp.dir/udp.cpp.o.d"
+  "libhydranet_udp.a"
+  "libhydranet_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftcp.dir/test_ftcp.cpp.o"
+  "CMakeFiles/test_ftcp.dir/test_ftcp.cpp.o.d"
+  "test_ftcp"
+  "test_ftcp.pdb"
+  "test_ftcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftcp_property.dir/test_ftcp_property.cpp.o"
+  "CMakeFiles/test_ftcp_property.dir/test_ftcp_property.cpp.o.d"
+  "test_ftcp_property"
+  "test_ftcp_property.pdb"
+  "test_ftcp_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftcp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

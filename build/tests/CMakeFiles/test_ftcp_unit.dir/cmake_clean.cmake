@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftcp_unit.dir/test_ftcp_unit.cpp.o"
+  "CMakeFiles/test_ftcp_unit.dir/test_ftcp_unit.cpp.o.d"
+  "test_ftcp_unit"
+  "test_ftcp_unit.pdb"
+  "test_ftcp_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftcp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

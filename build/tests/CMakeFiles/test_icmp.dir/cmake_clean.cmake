@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icmp.dir/test_icmp.cpp.o"
+  "CMakeFiles/test_icmp.dir/test_icmp.cpp.o.d"
+  "test_icmp"
+  "test_icmp.pdb"
+  "test_icmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

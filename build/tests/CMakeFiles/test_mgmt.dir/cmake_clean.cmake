@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mgmt.dir/test_mgmt.cpp.o"
+  "CMakeFiles/test_mgmt.dir/test_mgmt.cpp.o.d"
+  "test_mgmt"
+  "test_mgmt.pdb"
+  "test_mgmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

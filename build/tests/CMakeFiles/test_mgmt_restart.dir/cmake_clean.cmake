@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mgmt_restart.dir/test_mgmt_restart.cpp.o"
+  "CMakeFiles/test_mgmt_restart.dir/test_mgmt_restart.cpp.o.d"
+  "test_mgmt_restart"
+  "test_mgmt_restart.pdb"
+  "test_mgmt_restart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mgmt_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

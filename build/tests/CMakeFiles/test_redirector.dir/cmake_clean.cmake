@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redirector.dir/test_redirector.cpp.o"
+  "CMakeFiles/test_redirector.dir/test_redirector.cpp.o.d"
+  "test_redirector"
+  "test_redirector.pdb"
+  "test_redirector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redirector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_edge.dir/test_tcp_edge.cpp.o"
+  "CMakeFiles/test_tcp_edge.dir/test_tcp_edge.cpp.o.d"
+  "test_tcp_edge"
+  "test_tcp_edge.pdb"
+  "test_tcp_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

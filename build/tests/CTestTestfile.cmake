@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bytes[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_headers[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_reassembly[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_redirector[1]_include.cmake")
+include("/root/repo/build/tests/test_ftcp[1]_include.cmake")
+include("/root/repo/build/tests/test_mgmt[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_ftcp_property[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_icmp[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_mgmt_restart[1]_include.cmake")
+include("/root/repo/build/tests/test_sack[1]_include.cmake")
+include("/root/repo/build/tests/test_ftcp_unit[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydranet_sim_cli.dir/hydranet_sim.cpp.o"
+  "CMakeFiles/hydranet_sim_cli.dir/hydranet_sim.cpp.o.d"
+  "hydranet-sim"
+  "hydranet-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydranet_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_ttcp "/root/repo/build/tools/hydranet-sim" "ttcp" "--setup" "backup" "--total" "131072")
+set_tests_properties(cli_ttcp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/hydranet-sim" "sweep" "--setup" "clean" "--sizes" "256,1024")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_failover "/root/repo/build/tools/hydranet-sim" "failover" "--threshold" "3" "--crash-at" "1000" "--total" "2097152")
+set_tests_properties(cli_failover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ping "/root/repo/build/tools/hydranet-sim" "ping" "--setup" "backup")
+set_tests_properties(cli_ping PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
