@@ -13,6 +13,9 @@
 #include <memory>
 
 #include "bench_util.hpp"
+#include "net/tcp_header.hpp"
+#include "stats/export.hpp"
+#include "stats/timeline.hpp"
 
 namespace {
 
@@ -23,6 +26,9 @@ using testbed::TestbedConfig;
 
 struct FailoverResult {
   double detection_ms = -1;  ///< crash -> first elimination at the redirector
+  double report_ms = -1;     ///< crash -> failure report reaches redirector
+  double promote_ms = -1;    ///< crash -> backup promoted to primary
+  double resume_ms = -1;     ///< crash -> client acks pass the crash frontier
   double stall_ms = 0;       ///< longest client-visible progress gap
   bool completed = false;
 };
@@ -54,7 +60,10 @@ FailoverResult measure_failover(int threshold) {
   FailoverResult result;
   std::uint64_t eliminations_before =
       bed.redirector_agent().stats().replicas_eliminated;
-  std::uint32_t last_una = connection->snd_una_wire();
+  std::uint32_t una_at_crash = connection->snd_una_wire();
+  std::uint32_t frontier = connection->snd_nxt_wire();
+  bool resumed = false;
+  std::uint32_t last_una = una_at_crash;
   sim::TimePoint last_progress = bed.net().now();
   for (int step = 0; step < 30000; ++step) {
     bed.net().run_for(sim::milliseconds(10));
@@ -64,6 +73,12 @@ FailoverResult measure_failover(int threshold) {
       result.detection_ms = (bed.net().now() - crash_at).millis();
     }
     std::uint32_t una = connection->snd_una_wire();
+    if (!resumed && net::seq::geq(una, frontier) &&
+        net::seq::gt(una, una_at_crash)) {
+      resumed = true;
+      bed.client().record_event(stats::event::kStreamResumed,
+                                "acks passed crash-time frontier");
+    }
     if (una != last_una) {
       last_una = una;
       last_progress = bed.net().now();
@@ -77,6 +92,14 @@ FailoverResult measure_failover(int threshold) {
     }
     if (transmitter.report().failed) break;
   }
+  stats::FailoverPhases phases =
+      stats::failover_phases(bed.net().metrics().timeline());
+  result.report_ms = phases.report_ms;
+  result.promote_ms = phases.promote_ms;
+  result.resume_ms = phases.resume_ms;
+  // The timeline's elimination timestamp is exact; the polled one has
+  // 10 ms granularity.  Prefer the exact value when present.
+  if (phases.detection_ms >= 0) result.detection_ms = phases.detection_ms;
   return result;
 }
 
@@ -120,12 +143,17 @@ int main() {
   std::printf("(detection counts client retransmissions, which arrive at\n"
               " the BSD RTO backoff cadence of ~1,2,4,8,... seconds — so\n"
               " latency grows roughly exponentially with the threshold)\n\n");
-  std::printf("%-10s %16s %22s %10s\n", "threshold", "detection[ms]",
-              "max client stall[ms]", "completed");
+  std::printf("%-10s %12s %14s %12s %11s %11s %10s\n", "threshold",
+              "report[ms]", "eliminate[ms]", "promote[ms]", "resume[ms]",
+              "stall[ms]", "completed");
   for (int threshold : {2, 3, 4, 5, 6}) {
     FailoverResult r = measure_failover(threshold);
-    std::printf("%-10d %16.0f %22.0f %10s\n", threshold, r.detection_ms,
+    std::printf("%-10d %12.1f %14.1f %12.1f %11.1f %11.0f %10s\n", threshold,
+                r.report_ms, r.detection_ms, r.promote_ms, r.resume_ms,
                 r.stall_ms, r.completed ? "yes" : "NO");
+    std::printf("csv,failover,%d,%.1f,%.1f,%.1f,%.1f,%.0f,%d\n", threshold,
+                r.report_ms, r.detection_ms, r.promote_ms, r.resume_ms,
+                r.stall_ms, r.completed ? 1 : 0);
   }
 
   std::printf("\n-- Part 2: false positives on a healthy chain "

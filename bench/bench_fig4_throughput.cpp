@@ -42,6 +42,7 @@ void run_main_figure() {
               "no-redirect", "primary", "primary+backup");
 
   std::vector<std::array<double, 4>> rows;
+  std::vector<bench::TtcpMeasurement> ft_rows;  // primary+backup details
   for (std::size_t size : sizes) {
     std::array<double, 4> row{};
     for (int s = 0; s < 4; ++s) {
@@ -50,16 +51,22 @@ void run_main_figure() {
       config.backups = 1;
       auto m = run_ttcp(config, size, sweep_total_bytes(size));
       row[static_cast<std::size_t>(s)] = m.throughput_kBps;
+      if (kSetups[s] == Setup::primary_backup) ft_rows.push_back(m);
     }
     rows.push_back(row);
     std::printf("%-12zu %14.1f %16.1f %14.1f %20.1f\n", size, row[0], row[1],
                 row[2], row[3]);
   }
 
-  std::printf("\ncsv,size,clean,no_redirect,primary,primary_backup\n");
+  std::printf("\ncsv,size,clean,no_redirect,primary,primary_backup,"
+              "ft_deposit_stalls,ft_send_stalls,ft_ack_msgs,ft_copies\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("csv,%zu,%.1f,%.1f,%.1f,%.1f\n", sizes[i], rows[i][0],
-                rows[i][1], rows[i][2], rows[i][3]);
+    std::printf("csv,%zu,%.1f,%.1f,%.1f,%.1f,%llu,%llu,%llu,%llu\n", sizes[i],
+                rows[i][0], rows[i][1], rows[i][2], rows[i][3],
+                static_cast<unsigned long long>(ft_rows[i].deposit_gate_stalls),
+                static_cast<unsigned long long>(ft_rows[i].send_gate_stalls),
+                static_cast<unsigned long long>(ft_rows[i].ack_channel_messages),
+                static_cast<unsigned long long>(ft_rows[i].redirector_copies));
   }
 }
 

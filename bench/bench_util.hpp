@@ -19,6 +19,11 @@ struct TtcpMeasurement {
   std::uint64_t client_timeouts = 0;
   bool finished = false;
   double elapsed_s = 0;
+  // From the testbed's metrics registry (0 for non-FT setups).
+  std::uint64_t deposit_gate_stalls = 0;
+  std::uint64_t send_gate_stalls = 0;
+  std::uint64_t ack_channel_messages = 0;
+  std::uint64_t redirector_copies = 0;
 };
 
 /// Runs one ttcp measurement (client -> service) on a fresh testbed and
@@ -69,6 +74,11 @@ inline TtcpMeasurement run_ttcp(testbed::TestbedConfig config,
       }
     }
   }
+  const stats::Registry& registry = bed.stats();
+  out.deposit_gate_stalls = registry.total("ftcp.deposit_gate_stalls");
+  out.send_gate_stalls = registry.total("ftcp.send_gate_stalls");
+  out.ack_channel_messages = registry.total("ftcp.ack_channel_sent");
+  out.redirector_copies = registry.total("redirector.copies_sent");
   return out;
 }
 

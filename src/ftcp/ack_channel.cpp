@@ -53,10 +53,15 @@ AckChannel::~AckChannel() {
 
 Status AckChannel::send(net::Ipv4Address to_host,
                         const AckChannelMessage& message) {
-  if (socket_ == nullptr) return Errc::closed;
+  if (socket_ == nullptr) {
+    send_failures_++;
+    return Errc::closed;
+  }
   sent_++;
-  return socket_->send_to(net::Endpoint{to_host, port_},
-                          message.serialize());
+  Status status = socket_->send_to(net::Endpoint{to_host, port_},
+                                   message.serialize());
+  if (!status.ok()) send_failures_++;
+  return status;
 }
 
 void AckChannel::register_service(const net::Endpoint& service,

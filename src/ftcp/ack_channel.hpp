@@ -58,6 +58,9 @@ class AckChannel {
   std::uint16_t port() const { return port_; }
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_received() const { return received_; }
+  /// Sends rejected locally (no socket / no route) — distinct from losses
+  /// in flight, which the sender cannot observe on a one-way channel.
+  std::uint64_t messages_send_failed() const { return send_failures_; }
 
  private:
   void on_datagram(const net::Endpoint& from, Bytes data);
@@ -68,6 +71,7 @@ class AckChannel {
   std::unordered_map<net::Endpoint, Handler> handlers_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t send_failures_ = 0;
 };
 
 }  // namespace hydranet::ftcp

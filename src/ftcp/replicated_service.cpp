@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "stats/timeline.hpp"
 
 namespace hydranet::ftcp {
 
@@ -15,6 +16,7 @@ constexpr sim::Duration kStateGcAge = sim::seconds(30);
 
 using net::seq::geq;
 using net::seq::gt;
+using net::seq::lt;
 
 ReplicatedService::ReplicatedService(host::Host& host, AckChannel& channel,
                                      Config config)
@@ -103,6 +105,7 @@ void ReplicatedService::promote_to_primary() {
   if (config_.mode == tcp::ReplicaMode::primary) return;
   HLOG(info, kLog) << host_.name() << " promoted to primary for "
                    << config_.service.to_string();
+  host_.record_event(stats::event::kPromoted, config_.service.to_string());
   config_.mode = tcp::ReplicaMode::primary;
   predecessor_.reset();
   install_port_options();
@@ -123,24 +126,57 @@ void ReplicatedService::promote_to_primary() {
 
 std::uint32_t ReplicatedService::deposit_limit(
     const tcp::TcpConnection& connection, std::uint32_t in_order_end) {
-  if (!successor_) return in_order_end;  // last in the chain: no gate
-  auto it = connections_.find(connection.key());
-  if (it == connections_.end() || !it->second.has_info) {
-    return connection.rcv_nxt_wire();  // successor state unknown: hold
+  std::uint32_t limit = in_order_end;
+  ConnState* state = nullptr;
+  if (successor_) {  // last in the chain has no gate
+    auto it = connections_.find(connection.key());
+    if (it != connections_.end()) state = &it->second;
+    if (state == nullptr || !state->has_info) {
+      limit = connection.rcv_nxt_wire();  // successor state unknown: hold
+    } else if (!state->passthrough) {
+      limit = state->succ_rcv_nxt;  // deposit byte k iff k < successor ACK#
+    }
   }
-  if (it->second.passthrough) return in_order_end;
-  return it->second.succ_rcv_nxt;  // deposit byte k iff k < successor ACK#
+  if (state != nullptr) {
+    track_gate(state->deposit_blocked_since, gate_stats_.deposit_stalls,
+               gate_stats_.deposit_stall_ms, lt(limit, in_order_end));
+  }
+  return limit;
 }
 
 std::uint32_t ReplicatedService::transmit_limit(
     const tcp::TcpConnection& connection, std::uint32_t window_limit) {
-  if (!successor_) return window_limit;
-  auto it = connections_.find(connection.key());
-  if (it == connections_.end() || !it->second.has_info) {
-    return connection.snd_nxt_wire();
+  std::uint32_t limit = window_limit;
+  ConnState* state = nullptr;
+  if (successor_) {
+    auto it = connections_.find(connection.key());
+    if (it != connections_.end()) state = &it->second;
+    if (state == nullptr || !state->has_info) {
+      limit = connection.snd_nxt_wire();
+    } else if (!state->passthrough) {
+      limit = state->succ_snd_nxt;  // send byte k iff successor SEQ# covers k
+    }
   }
-  if (it->second.passthrough) return window_limit;
-  return it->second.succ_snd_nxt;  // send byte k iff successor SEQ# covers k
+  if (state != nullptr) {
+    // The send gate only stalls anything when there is queued data it is
+    // holding back; a closed gate with nothing to send is not a stall.
+    track_gate(state->send_blocked_since, gate_stats_.send_stalls,
+               gate_stats_.send_stall_ms,
+               lt(limit, window_limit) && connection.unsent_bytes() > 0);
+  }
+  return limit;
+}
+
+void ReplicatedService::track_gate(
+    std::optional<sim::TimePoint>& blocked_since, std::uint64_t& stalls,
+    stats::Histogram& stall_ms, bool binding) {
+  if (binding && !blocked_since) {
+    blocked_since = host_.scheduler().now();
+    stalls++;
+  } else if (!binding && blocked_since) {
+    stall_ms.observe((host_.scheduler().now() - *blocked_since).millis());
+    blocked_since.reset();
+  }
 }
 
 bool ReplicatedService::filter_segment(tcp::TcpConnection& connection,
@@ -200,12 +236,19 @@ void ReplicatedService::raise_failure_signal(tcp::TcpConnection& connection,
                    << signal.connection.to_string()
                    << (signal.blocked_on_successor ? " (blocked on successor)"
                                                    : "");
+  host_.record_event(stats::event::kFailureSignal,
+                     signal.connection.to_string() +
+                         (signal.blocked_on_successor
+                              ? " blocked_on_successor"
+                              : ""));
   if (failure_callback_) failure_callback_(signal);
 }
 
 void ReplicatedService::on_established(tcp::TcpConnection& connection) {
   ConnState& state = state_for(connection.key());
   state.last_activity = host_.scheduler().now();
+  host_.record_event(stats::event::kConnectionEstablished,
+                     connection.key().to_string());
   if (config_.mode == tcp::ReplicaMode::backup && predecessor_) {
     report(connection.key(), connection.snd_nxt_wire(),
            connection.rcv_nxt_wire(), /*passthrough=*/false);
@@ -213,7 +256,16 @@ void ReplicatedService::on_established(tcp::TcpConnection& connection) {
 }
 
 void ReplicatedService::on_connection_closed(tcp::TcpConnection& connection) {
-  connections_.erase(connection.key());
+  auto it = connections_.find(connection.key());
+  if (it != connections_.end()) {
+    // Close out any stall interval still open on this connection so its
+    // duration lands in the histograms.
+    track_gate(it->second.deposit_blocked_since, gate_stats_.deposit_stalls,
+               gate_stats_.deposit_stall_ms, /*binding=*/false);
+    track_gate(it->second.send_blocked_since, gate_stats_.send_stalls,
+               gate_stats_.send_stall_ms, /*binding=*/false);
+    connections_.erase(it);
+  }
 }
 
 // ---- data plane helpers -------------------------------------------------------

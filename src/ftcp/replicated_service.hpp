@@ -27,6 +27,7 @@
 #include "ftcp/ack_channel.hpp"
 #include "ftcp/failure_detector.hpp"
 #include "host/host.hpp"
+#include "stats/metrics.hpp"
 #include "tcp/tcp_connection.hpp"
 #include "tcp/tcp_stack.hpp"
 #include "tcp/tcp_types.hpp"
@@ -114,6 +115,16 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   std::size_t tracked_connections() const { return connections_.size(); }
   std::uint64_t failure_signals_raised() const { return signals_raised_; }
 
+  /// Gating observability: how often each ft-TCP gate closed (held back
+  /// data the stock stack would have moved) and for how long.
+  struct GateStats {
+    std::uint64_t deposit_stalls = 0;  ///< deposit gate closed (count)
+    std::uint64_t send_stalls = 0;     ///< send gate closed (count)
+    stats::Histogram deposit_stall_ms{stats::stall_ms_buckets()};
+    stats::Histogram send_stall_ms{stats::stall_ms_buckets()};
+  };
+  const GateStats& gate_stats() const { return gate_stats_; }
+
  private:
   struct ConnState {
     bool has_info = false;
@@ -129,7 +140,15 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
     /// never retransmits.
     RetransmissionDetector send_detector{DetectorParams{}};
     sim::TimePoint last_activity{};
+    /// Open stall intervals (set while the corresponding gate binds).
+    std::optional<sim::TimePoint> deposit_blocked_since;
+    std::optional<sim::TimePoint> send_blocked_since;
   };
+
+  /// Opens/closes one gate's stall interval as its binding state flips.
+  void track_gate(std::optional<sim::TimePoint>& blocked_since,
+                  std::uint64_t& stalls, stats::Histogram& stall_ms,
+                  bool binding);
 
   void raise_failure_signal(tcp::TcpConnection& connection, ConnState& state);
 
@@ -159,6 +178,7 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   sim::TimerId refresh_timer_ = sim::kInvalidTimer;
   bool shut_down_ = false;
   std::uint64_t signals_raised_ = 0;
+  GateStats gate_stats_;
 };
 
 }  // namespace hydranet::ftcp

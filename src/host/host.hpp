@@ -12,6 +12,8 @@
 #include "ip/ip_stack.hpp"
 #include "link/cpu_model.hpp"
 #include "sim/scheduler.hpp"
+#include "stats/metrics.hpp"
+#include "stats/timeline.hpp"
 #include "tcp/tcp_stack.hpp"
 #include "udp/udp.hpp"
 
@@ -57,6 +59,27 @@ class Host {
 
   void set_cpu_model(link::CpuModel model) { ip_.set_cpu_model(model); }
 
+  // ---- observability -----------------------------------------------------
+
+  /// The owning Network points every host at its shared event timeline so
+  /// deep layers (ft-TCP, management agents) can emit protocol events.
+  void set_timeline(stats::EventTimeline* timeline) { timeline_ = timeline; }
+  stats::EventTimeline* timeline() { return timeline_; }
+
+  /// Records a timeline event under this host's name at the current virtual
+  /// time.  No-op when no timeline is attached (e.g. hosts built outside a
+  /// Network in unit tests).
+  void record_event(std::string kind, std::string detail = {}) {
+    if (timeline_ != nullptr) {
+      timeline_->record(scheduler_.now(), name_, std::move(kind),
+                        std::move(detail));
+    }
+  }
+
+  /// Publishes this host's IP and TCP counters into `registry` under the
+  /// host's name ("ip.*", "tcp.*" — see README "Observability").
+  void publish_metrics(stats::Registry& registry) const;
+
  private:
   sim::Scheduler& scheduler_;
   std::string name_;
@@ -64,6 +87,7 @@ class Host {
   udp::UdpStack udp_;
   tcp::TcpStack tcp_;
   icmp::IcmpStack icmp_;
+  stats::EventTimeline* timeline_ = nullptr;
 };
 
 }  // namespace hydranet::host

@@ -25,6 +25,38 @@ Host::Host(sim::Scheduler& scheduler, std::string name, std::uint64_t seed)
       });
 }
 
+void Host::publish_metrics(stats::Registry& registry) const {
+  const ip::IpStack::Stats& ip = ip_.stats();
+  registry.set_counter(name_, "ip.sent", ip.sent);
+  registry.set_counter(name_, "ip.received", ip.received);
+  registry.set_counter(name_, "ip.forwarded", ip.forwarded);
+  registry.set_counter(name_, "ip.delivered_local", ip.delivered_local);
+  registry.set_counter(name_, "ip.ttl_drops", ip.ttl_drops);
+  registry.set_counter(name_, "ip.no_route_drops", ip.no_route_drops);
+  registry.set_counter(name_, "ip.parse_drops", ip.parse_drops);
+  registry.set_counter(name_, "ip.fragments_sent", ip.fragments_sent);
+  registry.set_counter(name_, "ip.fragments_received", ip.fragments_received);
+  registry.set_counter(name_, "ip.reassembled", ip.reassembled);
+  registry.set_counter(name_, "ip.reassembly_timeouts", ip.reassembly_timeouts);
+  registry.set_counter(name_, "ip.crashed_drops", ip.crashed_drops);
+
+  tcp::TcpConnection::Stats tcp = tcp_.aggregate_stats();
+  registry.set_counter(name_, "tcp.segments_out", tcp.segments_sent);
+  registry.set_counter(name_, "tcp.segments_in", tcp.segments_received);
+  registry.set_counter(name_, "tcp.segments_swallowed", tcp.segments_swallowed);
+  registry.set_counter(name_, "tcp.bytes_out", tcp.bytes_sent_app);
+  registry.set_counter(name_, "tcp.bytes_in", tcp.bytes_received_app);
+  registry.set_counter(name_, "tcp.retransmits", tcp.retransmits);
+  registry.set_counter(name_, "tcp.fast_retransmits", tcp.fast_retransmits);
+  registry.set_counter(name_, "tcp.rto_firings", tcp.timeouts);
+  registry.set_counter(name_, "tcp.dup_acks", tcp.dup_acks);
+  registry.set_counter(name_, "tcp.duplicate_segments",
+                       tcp.duplicate_segments_seen);
+  registry.set_counter(name_, "tcp.zero_window_probes", tcp.zero_window_probes);
+  registry.set_counter(name_, "tcp.sack_retransmits", tcp.sack_retransmits);
+  registry.set_histogram(name_, "tcp.cwnd_bytes", tcp.cwnd_bytes);
+}
+
 Network::Network(std::uint64_t seed)
     : seed_(seed), next_host_seed_(seed * 7919 + 1) {
   // Stamp log lines with this network's virtual clock.
@@ -43,6 +75,7 @@ Host& Network::add_host(const std::string& name) {
   assert(!hosts_.contains(name));
   auto host = std::make_unique<Host>(scheduler_, name, next_host_seed_);
   next_host_seed_ = next_host_seed_ * 6364136223846793005ull + 1442695040888963407ull;
+  host->set_timeline(&metrics_.timeline());
   Host& ref = *host;
   hosts_.emplace(name, std::move(host));
   return ref;
@@ -61,11 +94,33 @@ link::Link& Network::connect(Host& a, net::Ipv4Address address_a, Host& b,
                              link::Link::Config config, std::size_t mtu) {
   if (config.seed == 1) config.seed = next_host_seed_ ^ 0x9e3779b9;
   auto link = std::make_unique<link::Link>(scheduler_, config);
+  // Metrics identify links by label; disambiguate parallel links between
+  // the same pair of hosts with a #n suffix.
+  std::string label = a.name() + "-" + b.name();
+  std::size_t duplicates = 0;
+  for (const auto& existing : links_) {
+    if (existing->label().rfind(label, 0) == 0) duplicates++;
+  }
+  if (duplicates > 0) label += "#" + std::to_string(duplicates + 1);
+  link->set_label(label);
   auto& iface_a = a.add_interface("to_" + b.name(), address_a, prefix_len, mtu);
   auto& iface_b = b.add_interface("to_" + a.name(), address_b, prefix_len, mtu);
   link->attach(iface_a, iface_b);
   links_.push_back(std::move(link));
   return *links_.back();
+}
+
+void Network::publish_metrics() {
+  for (const auto& [name, host] : hosts_) host->publish_metrics(metrics_);
+  for (const auto& link : links_) {
+    const link::Link::Stats& s = link->stats();
+    const std::string& node = link->label();
+    metrics_.set_counter(node, "link.delivered", s.delivered);
+    metrics_.set_counter(node, "link.queue_drops", s.queue_drops);
+    metrics_.set_counter(node, "link.loss_drops", s.loss_drops);
+    metrics_.set_counter(node, "link.down_drops", s.down_drops);
+    metrics_.set_histogram(node, "link.queue_depth", link->queue_depth());
+  }
 }
 
 }  // namespace hydranet::host

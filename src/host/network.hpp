@@ -10,6 +10,7 @@
 #include "host/host.hpp"
 #include "link/link.hpp"
 #include "sim/scheduler.hpp"
+#include "stats/metrics.hpp"
 
 namespace hydranet::host {
 
@@ -43,10 +44,24 @@ class Network {
   }
   sim::TimePoint now() const { return scheduler_.now(); }
 
+  // ---- observability -----------------------------------------------------
+
+  /// The network-wide metrics registry and event timeline.  Counters are
+  /// published on demand (publish_metrics); the timeline fills live as
+  /// hosts record protocol events.
+  stats::Registry& metrics() { return metrics_; }
+
+  /// Snapshots every host's and link's counters into the registry.
+  /// Idempotent — values are absolute, so repeated calls just refresh.
+  void publish_metrics();
+
  private:
   sim::Scheduler scheduler_;
   std::uint64_t seed_;
   std::uint64_t next_host_seed_;
+  // Declared before hosts_/links_: hosts hold a pointer to the timeline
+  // inside metrics_ and may record events while being torn down.
+  stats::Registry metrics_;
   std::unordered_map<std::string, std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<link::Link>> links_;
 };

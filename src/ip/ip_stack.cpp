@@ -331,6 +331,7 @@ void IpStack::handle_fragment(net::Datagram datagram) {
       static_cast<std::uint16_t>(whole.size());
   scheduler_.cancel(group.expiry);
   reassembly_.erase(key);
+  stats_.reassembled++;
   deliver_local(std::move(whole));
 }
 

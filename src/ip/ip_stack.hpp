@@ -53,6 +53,7 @@ class IpStack {
     std::uint64_t no_route_drops = 0;
     std::uint64_t parse_drops = 0;
     std::uint64_t reassembly_timeouts = 0;
+    std::uint64_t reassembled = 0;  ///< datagrams rebuilt from fragments
     std::uint64_t fragments_sent = 0;
     std::uint64_t fragments_received = 0;
     std::uint64_t crashed_drops = 0;

@@ -69,6 +69,7 @@ Status Link::transmit(const NetworkInterface* from, Bytes frame) {
   }
   if (tap_) tap_(*from, frame);
   Direction& dir = direction_from(from);
+  queue_depth_.observe(static_cast<double>(dir.queued));
   if (dir.queued >= config_.queue_capacity_packets) {
     stats_.queue_drops++;
     // Drop-tail loss is silent on real hardware too; callers relying on

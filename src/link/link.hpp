@@ -6,12 +6,15 @@
 #include <functional>
 #include <memory>
 
+#include <string>
+
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "link/interface.hpp"
 #include "link/loss_model.hpp"
 #include "sim/scheduler.hpp"
+#include "stats/metrics.hpp"
 
 namespace hydranet::link {
 
@@ -57,6 +60,16 @@ class Link {
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
 
+  /// Queue occupancy sampled at every enqueue attempt (both directions):
+  /// the distribution that separates "drops because the loss model fired"
+  /// from "drops because the drop-tail queue was full".
+  const stats::Histogram& queue_depth() const { return queue_depth_; }
+
+  /// Display/metrics label ("client-redirector"); set by the topology
+  /// builder.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
  private:
   struct Direction {
     NetworkInterface* destination = nullptr;
@@ -77,6 +90,8 @@ class Link {
   bool down_ = false;
   Tap tap_;
   Stats stats_;
+  stats::Histogram queue_depth_{stats::queue_depth_buckets()};
+  std::string label_;
 };
 
 }  // namespace hydranet::link

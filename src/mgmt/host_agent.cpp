@@ -1,6 +1,7 @@
 #include "mgmt/host_agent.hpp"
 
 #include "common/logging.hpp"
+#include "stats/timeline.hpp"
 
 namespace hydranet::mgmt {
 
@@ -115,9 +116,45 @@ ftcp::ReplicatedService* HostAgent::replica(const net::Endpoint& service) {
   return it == replicas_.end() ? nullptr : it->second.get();
 }
 
+void HostAgent::publish_metrics(stats::Registry& registry) const {
+  const std::string& node = host_.name();
+  registry.set_counter(node, "mgmt.pings_answered", stats_.pings_answered);
+  registry.set_counter(node, "mgmt.failure_reports_sent",
+                       stats_.failure_reports_sent);
+  registry.set_counter(node, "mgmt.promotions", stats_.promotions);
+  registry.set_counter(node, "mgmt.shutdowns", stats_.shutdowns);
+  registry.set_counter(node, "ftcp.ack_channel_sent", channel_.messages_sent());
+  registry.set_counter(node, "ftcp.ack_channel_received",
+                       channel_.messages_received());
+  registry.set_counter(node, "ftcp.ack_channel_send_failures",
+                       channel_.messages_send_failed());
+
+  // Gate behaviour summed over this host's replicas (one per service).
+  std::uint64_t deposit_stalls = 0;
+  std::uint64_t send_stalls = 0;
+  std::uint64_t failure_signals = 0;
+  stats::Histogram deposit_ms{stats::stall_ms_buckets()};
+  stats::Histogram send_ms{stats::stall_ms_buckets()};
+  for (const auto& [service, replica] : replicas_) {
+    const auto& gates = replica->gate_stats();
+    deposit_stalls += gates.deposit_stalls;
+    send_stalls += gates.send_stalls;
+    failure_signals += replica->failure_signals_raised();
+    deposit_ms.merge(gates.deposit_stall_ms);
+    send_ms.merge(gates.send_stall_ms);
+  }
+  registry.set_counter(node, "ftcp.deposit_gate_stalls", deposit_stalls);
+  registry.set_counter(node, "ftcp.send_gate_stalls", send_stalls);
+  registry.set_counter(node, "ftcp.failure_signals", failure_signals);
+  registry.set_histogram(node, "ftcp.deposit_gate_stall_ms", deposit_ms);
+  registry.set_histogram(node, "ftcp.send_gate_stall_ms", send_ms);
+}
+
 void HostAgent::on_failure_signal(
     const ftcp::ReplicatedService::FailureSignal& signal) {
   stats_.failure_reports_sent++;
+  host_.record_event(stats::event::kFailureReportSent,
+                     signal.service.to_string());
   MgmtMessage message;
   message.type = MsgType::failure_report;
   message.service = signal.service;
@@ -175,6 +212,8 @@ void HostAgent::on_message(const net::Endpoint& from,
         stats_.shutdowns++;
         HLOG(info, kLog) << host_.name() << " shut down for "
                          << message.service.to_string();
+        host_.record_event(stats::event::kReplicaShutdown,
+                           message.service.to_string());
         it->second->shutdown();
         replicas_.erase(it);
       }

@@ -62,6 +62,10 @@ class HostAgent {
   MgmtTransport& transport() { return transport_; }
   const Stats& stats() const { return stats_; }
 
+  /// Publishes this agent's management and ft-TCP counters into `registry`
+  /// under the host's node name ("mgmt.*", "ftcp.*").
+  void publish_metrics(stats::Registry& registry) const;
+
  private:
   void on_message(const net::Endpoint& from, const MgmtMessage& message);
   void on_failure_signal(const ftcp::ReplicatedService::FailureSignal& signal);

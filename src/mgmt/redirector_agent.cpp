@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "stats/timeline.hpp"
 
 namespace hydranet::mgmt {
 
@@ -160,9 +161,13 @@ void RedirectorAgent::handle_failure_report(const net::Endpoint& from,
 
   HLOG(info, kLog) << "failure report for " << message.service.to_string()
                    << " from " << from.address.to_string();
+  router_.record_event(stats::event::kFailureReportReceived,
+                       message.service.to_string() + " from " +
+                           from.address.to_string());
 
   // Identify the failed server: probe every chain member.
   stats_.probes_started++;
+  router_.record_event(stats::event::kProbeStarted, message.service.to_string());
   ProbeSession session;
   session.service = message.service;
   session.targets = chain_it->second;
@@ -232,6 +237,9 @@ void RedirectorAgent::finish_probe(const net::Endpoint& service) {
         if (primary_complained) {
           HLOG(info, kLog) << "report for " << service.to_string()
                            << " attributed to the client side; no action";
+          router_.record_event(stats::event::kProbeVerdict,
+                               service.to_string() +
+                                   " client_side_attribution");
         } else {
           dead.push_back(primary);
         }
@@ -242,6 +250,8 @@ void RedirectorAgent::finish_probe(const net::Endpoint& service) {
   for (net::Ipv4Address replica : dead) {
     HLOG(warn, kLog) << "eliminating " << replica.to_string() << " from "
                      << service.to_string();
+    router_.record_event(stats::event::kProbeVerdict,
+                         service.to_string() + " dead " + replica.to_string());
     eliminate(service, replica);
   }
   last_reconfiguration_[service] = router_.scheduler().now();
@@ -258,6 +268,8 @@ void RedirectorAgent::eliminate(const net::Endpoint& service,
   const bool was_primary = pos == chain.begin();
   chain.erase(pos);
   stats_.replicas_eliminated++;
+  router_.record_event(stats::event::kReplicaEliminated,
+                       service.to_string() + " " + replica.to_string());
   banned_.insert({service, replica});
 
   // Stop multicasting to it immediately (this is what "shuts down" a
@@ -279,6 +291,9 @@ void RedirectorAgent::eliminate(const net::Endpoint& service,
 
   if (was_primary) {
     stats_.promotions_ordered++;
+    router_.record_event(stats::event::kPromoteOrdered,
+                         service.to_string() + " " +
+                             chain.front().to_string());
     (void)data_plane_.set_primary(service, chain.front());
     MgmtMessage promote;
     promote.type = MsgType::promote;
@@ -286,6 +301,17 @@ void RedirectorAgent::eliminate(const net::Endpoint& service,
     transport_.send_reliable(agent_endpoint(chain.front()), promote);
   }
   rewire(service);
+}
+
+void RedirectorAgent::publish_metrics(stats::Registry& registry) const {
+  const std::string& node = router_.name();
+  registry.set_counter(node, "mgmt.registrations", stats_.registrations);
+  registry.set_counter(node, "mgmt.failure_reports", stats_.failure_reports);
+  registry.set_counter(node, "mgmt.probes_started", stats_.probes_started);
+  registry.set_counter(node, "mgmt.replicas_eliminated",
+                       stats_.replicas_eliminated);
+  registry.set_counter(node, "mgmt.promotions_ordered",
+                       stats_.promotions_ordered);
 }
 
 void RedirectorAgent::rewire(const net::Endpoint& service) {

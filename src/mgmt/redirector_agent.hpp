@@ -63,6 +63,10 @@ class RedirectorAgent {
   const Stats& stats() const { return stats_; }
   MgmtTransport& transport() { return transport_; }
 
+  /// Publishes this agent's reconfiguration counters into `registry` under
+  /// the router's node name ("mgmt.*").
+  void publish_metrics(stats::Registry& registry) const;
+
  private:
   struct ProbeSession {
     net::Endpoint service;

@@ -133,6 +133,7 @@ void Redirector::tunnel_to(const net::Datagram& datagram,
     net::Datagram outer =
         net::encapsulate_ipip(datagram, tunnel_src, host_server);
     stats_.copies_sent++;
+    stats_.tunnelled_bytes += outer.size();
     (void)router_.ip().send(std::move(outer));
   };
 

@@ -1,0 +1,45 @@
+// Exporters for the metrics registry + event timeline.
+//
+// JSON: one document — per-node counters/gauges/histograms plus the event
+// timeline — for downstream analysis (the CLI's --stats flag and the
+// benches emit this).
+//
+// CSV: line-per-value records that round-trip through from_csv():
+//   counter,<node>,<name>,<value>
+//   gauge,<node>,<name>,<value>
+//   hbucket,<node>,<name>,<upper-bound|inf>,<count>
+//   hsummary,<node>,<name>,<count>,<sum>,<min>,<max>
+//   event,<seconds>,<node>,<kind>,<detail>
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "stats/metrics.hpp"
+
+namespace hydranet::stats {
+
+std::string to_json(const Registry& registry);
+std::string to_csv(const Registry& registry);
+
+/// Rebuilds a registry (metrics and events) from to_csv() output.
+Result<Registry> from_csv(const std::string& csv);
+
+/// Writes `text` to `path` ("-" writes to stdout).
+Status write_file(const std::string& path, const std::string& text);
+
+/// The failover phase boundaries recovered from a timeline (all relative
+/// to the crash_injected event; negative when the phase never happened).
+struct FailoverPhases {
+  double crash_s = -1;      ///< absolute virtual time of the crash
+  double report_ms = -1;    ///< crash -> first FAILURE-REPORT at the redirector
+  double detection_ms = -1; ///< crash -> replica eliminated
+  double promote_ms = -1;   ///< crash -> backup promoted
+  double resume_ms = -1;    ///< crash -> client stream resumed
+};
+
+/// Extracts the crash -> detection -> promotion -> resume phase durations
+/// from a run's event timeline.
+FailoverPhases failover_phases(const EventTimeline& timeline);
+
+}  // namespace hydranet::stats

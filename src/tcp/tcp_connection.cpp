@@ -12,6 +12,22 @@ namespace {
 constexpr const char* kLog = "tcp";
 }
 
+void TcpConnection::Stats::merge(const Stats& other) {
+  segments_sent += other.segments_sent;
+  segments_received += other.segments_received;
+  segments_swallowed += other.segments_swallowed;
+  bytes_sent_app += other.bytes_sent_app;
+  bytes_received_app += other.bytes_received_app;
+  retransmits += other.retransmits;
+  fast_retransmits += other.fast_retransmits;
+  timeouts += other.timeouts;
+  duplicate_segments_seen += other.duplicate_segments_seen;
+  dup_acks += other.dup_acks;
+  zero_window_probes += other.zero_window_probes;
+  sack_retransmits += other.sack_retransmits;
+  cwnd_bytes.merge(other.cwnd_bytes);
+}
+
 const char* to_string(TcpState state) {
   switch (state) {
     case TcpState::closed: return "CLOSED";
@@ -491,6 +507,7 @@ void TcpConnection::process_ack(const net::TcpSegment& segment) {
     } else {
       cwnd_ += std::max<std::size_t>(1, mss * mss / cwnd_);  // avoidance
     }
+    stats_.cwnd_bytes.observe(static_cast<double>(cwnd_));
 
     if (snd_una_ == snd_max_) {
       cancel_rto();
@@ -513,6 +530,7 @@ void TcpConnection::process_ack(const net::TcpSegment& segment) {
     if (snd_max_ > snd_una_ && segment.payload.empty() && !h.fin &&
         h.window == old_wnd) {
       dup_acks_++;
+      stats_.dup_acks++;
       if (dup_acks_ == 3) {
         stats_.fast_retransmits++;
         std::size_t mss = effective_mss();

@@ -16,6 +16,7 @@
 #include "common/result.hpp"
 #include "net/tcp_header.hpp"
 #include "sim/scheduler.hpp"
+#include "stats/metrics.hpp"
 #include "tcp/reassembly.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "tcp/tcp_types.hpp"
@@ -34,10 +35,17 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
     std::uint64_t bytes_received_app = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t fast_retransmits = 0;
-    std::uint64_t timeouts = 0;
+    std::uint64_t timeouts = 0;           ///< RTO firings
     std::uint64_t duplicate_segments_seen = 0;
+    std::uint64_t dup_acks = 0;           ///< duplicate ACKs received
     std::uint64_t zero_window_probes = 0;
     std::uint64_t sack_retransmits = 0;  ///< hole repairs from the scoreboard
+    /// Congestion window, sampled at every cumulative-ACK advance.
+    stats::Histogram cwnd_bytes{stats::cwnd_buckets()};
+
+    /// Accumulates `other` into this (per-node aggregation across
+    /// connections; see TcpStack::aggregate_stats()).
+    void merge(const Stats& other);
   };
 
   ~TcpConnection();
@@ -96,6 +104,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   std::size_t cwnd() const { return cwnd_; }
   std::size_t flight_size() const { return snd_nxt_ - snd_una_; }
+  /// Application bytes accepted but not yet put on the wire (what a
+  /// binding ft-TCP send gate is holding back).
+  std::uint64_t unsent_bytes() const {
+    std::uint64_t end = send_data_base_ + send_data_.size();
+    return end > snd_nxt_ ? end - snd_nxt_ : 0;
+  }
 
   /// Bytes that arrived in order but are held back from the application
   /// socket buffer by the ft-TCP deposit gate (zero on stock connections).

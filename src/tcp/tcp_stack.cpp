@@ -93,9 +93,18 @@ void TcpStack::remove_connection(const ConnectionKey& key) {
   // Defer destruction to the next event so a connection can finish the
   // member function that triggered its own removal.
   std::shared_ptr<TcpConnection> doomed = it->second;
+  closed_stats_.merge(doomed->stats());
   connections_.erase(it);
   pending_accepts_.erase(key);
   scheduler().schedule_after(sim::Duration{0}, [doomed] {});
+}
+
+TcpConnection::Stats TcpStack::aggregate_stats() const {
+  TcpConnection::Stats total = closed_stats_;
+  for (const auto& [key, connection] : connections_) {
+    total.merge(connection->stats());
+  }
+  return total;
 }
 
 void TcpStack::notify_established(TcpConnection& connection) {

@@ -100,6 +100,10 @@ class TcpStack {
   std::shared_ptr<TcpConnection> find_connection(const ConnectionKey& key);
   std::size_t connection_count() const { return connections_.size(); }
 
+  /// Node-wide TCP counters: every live connection plus everything
+  /// accumulated from connections already torn down.
+  TcpConnection::Stats aggregate_stats() const;
+
   ip::IpStack& ip() { return ip_; }
   sim::Scheduler& scheduler() { return ip_.scheduler(); }
 
@@ -126,6 +130,7 @@ class TcpStack {
   // Connections awaiting their accept callback, keyed by connection.
   std::unordered_map<ConnectionKey, TcpListener*, ConnectionKeyHash>
       pending_accepts_;
+  TcpConnection::Stats closed_stats_;  ///< summed from removed connections
   std::uint16_t next_ephemeral_ = 32768;
 };
 

@@ -1,5 +1,7 @@
 #include "testbed/testbed.hpp"
 
+#include "stats/timeline.hpp"
+
 namespace hydranet::testbed {
 
 namespace {
@@ -51,6 +53,47 @@ Testbed::Testbed(TestbedConfig config)
 
 net::Ipv4Address Testbed::server_address(std::size_t index) const {
   return ip(10, 0, static_cast<std::uint8_t>(2 + index), 2);
+}
+
+void Testbed::crash_server(std::size_t index) {
+  host::Host& server = *servers_.at(index);
+  server.record_event(stats::event::kCrashInjected,
+                      config_.service.to_string());
+  server.crash();
+}
+
+stats::Registry& Testbed::stats() {
+  net_.publish_metrics();
+  stats::Registry& registry = net_.metrics();
+
+  if (redirector_) {
+    const redirector::Redirector::Stats& s = redirector_->stats();
+    const std::string& node = redirector_host_->name();
+    registry.set_counter(node, "redirector.intercepted",
+                         s.redirected_datagrams);
+    registry.set_counter(node, "redirector.copies_sent", s.copies_sent);
+    registry.set_counter(node, "redirector.tunnelled_bytes",
+                         s.tunnelled_bytes);
+    registry.set_counter(node, "redirector.fragment_cache_hits",
+                         s.fragment_cache_hits);
+    registry.set_counter(node, "redirector.passed_through", s.passed_through);
+  }
+  if (redirector_agent_) redirector_agent_->publish_metrics(registry);
+
+  std::uint64_t ack_sent = 0;
+  std::uint64_t ack_received = 0;
+  for (const auto& agent : agents_) {
+    agent->publish_metrics(registry);
+    ack_sent += agent->ack_channel().messages_sent();
+    ack_received += agent->ack_channel().messages_received();
+  }
+  // All ack-channel traffic stays between the testbed's agents, so the
+  // chain-wide shortfall is what got lost (or is still in flight).
+  if (!agents_.empty()) {
+    registry.set_gauge("testbed", "ftcp.ack_channel_lost",
+                       static_cast<double>(ack_sent - ack_received));
+  }
+  return registry;
 }
 
 void Testbed::deploy() {

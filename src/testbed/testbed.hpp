@@ -84,8 +84,14 @@ class Testbed {
   link::Link& server_link(std::size_t index) { return *server_links_.at(index); }
   link::Link& client_link() { return *client_link_; }
 
-  /// Crashes server `index` fail-stop.
-  void crash_server(std::size_t index) { servers_.at(index)->crash(); }
+  /// Crashes server `index` fail-stop (recorded on the event timeline).
+  void crash_server(std::size_t index);
+
+  /// Refreshes and returns the testbed-wide metrics registry: every host's
+  /// and link's counters plus the redirector data plane and both kinds of
+  /// management agents.  The registry's timeline carries the protocol
+  /// events recorded so far (crash, FAILURE-REPORT, PROMOTE, ...).
+  stats::Registry& stats();
 
  private:
   void deploy();

@@ -112,7 +112,49 @@ void PacketTrace::record(const std::string& label, const Bytes& frame) {
     dropped_++;
     return;
   }
+  if (keep_frames_) entry->raw_frame = frame;
   entries_.push_back(std::move(*entry));
+}
+
+Status PacketTrace::write_pcap(const std::string& path) const {
+  bool have_frames = entries_.empty();
+  for (const TraceEntry& entry : entries_) {
+    if (!entry.raw_frame.empty()) {
+      have_frames = true;
+      break;
+    }
+  }
+  if (!have_frames) return Errc::invalid_argument;  // keep_frames was off
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Errc::not_found;
+
+  auto u32 = [&](std::uint32_t v) {
+    std::fwrite(&v, sizeof v, 1, file);  // host order; magic encodes it
+  };
+  auto u16 = [&](std::uint16_t v) { std::fwrite(&v, sizeof v, 1, file); };
+
+  // Classic pcap global header, LINKTYPE_RAW (101): records are bare IPv4
+  // datagrams, which is exactly what travels the simulated links.
+  u32(0xa1b2c3d4);  // magic (reader infers our byte order from it)
+  u16(2);           // version major
+  u16(4);           // version minor
+  u32(0);           // thiszone
+  u32(0);           // sigfigs
+  u32(65535);       // snaplen
+  u32(101);         // network: LINKTYPE_RAW
+
+  for (const TraceEntry& entry : entries_) {
+    if (entry.raw_frame.empty()) continue;  // filtered or pre-keep_frames
+    std::int64_t ns = entry.at.ns;
+    u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
+    u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
+    u32(static_cast<std::uint32_t>(entry.raw_frame.size()));
+    u32(static_cast<std::uint32_t>(entry.raw_frame.size()));
+    std::fwrite(entry.raw_frame.data(), 1, entry.raw_frame.size(), file);
+  }
+  std::fclose(file);
+  return Status::success();
 }
 
 std::vector<TraceEntry> PacketTrace::select(const TraceFilter& filter) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/result.hpp"
 #include "link/link.hpp"
 #include "net/address.hpp"
 #include "net/tcp_header.hpp"
@@ -36,6 +37,9 @@ struct TraceEntry {
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
   std::uint16_t window = 0;
+  /// The undecoded wire frame, kept only when the owning PacketTrace has
+  /// keep_frames enabled (pcap export needs the raw bytes).
+  Bytes raw_frame;
 
   /// "12.345678 c-rd 10.0.1.2:40000 > 192.20.225.20:80 TCP A seq=... len=..."
   std::string to_string() const;
@@ -62,15 +66,26 @@ class PacketTrace {
 
   void set_filter(TraceFilter filter) { filter_ = filter; }
 
+  /// Retain each captured frame's raw bytes (required for write_pcap).
+  void set_keep_frames(bool keep) { keep_frames_ = keep; }
+
   const std::vector<TraceEntry>& entries() const { return entries_; }
   std::size_t dropped() const { return dropped_; }
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
 
   /// All entries matching `filter`, in capture order.
   std::vector<TraceEntry> select(const TraceFilter& filter) const;
 
   /// Renders the whole capture, one line per frame.
   std::string dump() const;
+
+  /// Writes the capture as a classic libpcap file (LINKTYPE_RAW: each
+  /// record is a bare IPv4 datagram) that Wireshark/tcpdump can open.
+  /// Requires set_keep_frames(true) before capturing.
+  Status write_pcap(const std::string& path) const;
 
  private:
   void record(const std::string& label, const Bytes& frame);
@@ -80,6 +95,7 @@ class PacketTrace {
   TraceFilter filter_;
   std::vector<TraceEntry> entries_;
   std::size_t dropped_ = 0;
+  bool keep_frames_ = false;
 };
 
 /// Decodes one wire frame into a trace entry (no timestamp/link).

@@ -159,6 +159,98 @@ TEST(TraceCapture, CapacityBoundsAreEnforced) {
   EXPECT_GT(capture.dropped(), 0u);
 }
 
+TEST(TraceCapture, ClearResetsEntriesAndDropCount) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler(), /*max_entries=*/5);
+  capture.attach(pair.link, "ab");
+  testutil::ByteSinkServer server(pair.b, net::Ipv4Address(), 80);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  auto conn = client.value();
+  conn->set_on_established([conn] {
+    Bytes big(32 * 1024, 0x22);
+    (void)conn->send(big);
+    conn->close();
+  });
+  pair.net.run();
+  ASSERT_EQ(capture.entries().size(), 5u);
+  ASSERT_GT(capture.dropped(), 0u);
+
+  capture.clear();
+  EXPECT_TRUE(capture.entries().empty());
+  // clear() starts a fresh capture: the drop count resets with it.
+  EXPECT_EQ(capture.dropped(), 0u);
+}
+
+TEST(TracePcap, WritesWiresharkReadableFile) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler());
+  capture.set_keep_frames(true);
+  capture.attach(pair.link, "ab");
+  testutil::ByteSinkServer server(pair.b, net::Ipv4Address(), 80);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  client.value()->set_on_established([c = client.value()] { c->close(); });
+  pair.net.run();
+  ASSERT_GE(capture.entries().size(), 3u);
+
+  const std::string path = ::testing::TempDir() + "hydranet_trace_test.pcap";
+  ASSERT_TRUE(capture.write_pcap(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  auto u32 = [&] {
+    std::uint32_t v = 0;
+    EXPECT_EQ(std::fread(&v, sizeof v, 1, f), 1u);
+    return v;
+  };
+  auto u16 = [&] {
+    std::uint16_t v = 0;
+    EXPECT_EQ(std::fread(&v, sizeof v, 1, f), 1u);
+    return v;
+  };
+  EXPECT_EQ(u32(), 0xa1b2c3d4u);  // classic pcap magic, our byte order
+  EXPECT_EQ(u16(), 2u);           // version 2.4
+  EXPECT_EQ(u16(), 4u);
+  u32();                          // thiszone
+  u32();                          // sigfigs
+  EXPECT_EQ(u32(), 65535u);       // snaplen
+  EXPECT_EQ(u32(), 101u);         // LINKTYPE_RAW
+
+  // Every record must be a parseable bare IPv4 datagram whose length
+  // matches its header, and timestamps must be monotone.
+  std::size_t records = 0;
+  std::uint64_t last_us = 0;
+  while (true) {
+    std::uint32_t ts_sec = 0;
+    if (std::fread(&ts_sec, sizeof ts_sec, 1, f) != 1) break;
+    std::uint32_t ts_usec = u32();
+    std::uint32_t incl = u32();
+    std::uint32_t orig = u32();
+    EXPECT_EQ(incl, orig);
+    Bytes frame(incl);
+    ASSERT_EQ(std::fread(frame.data(), 1, incl, f), incl);
+    EXPECT_TRUE(decode_frame(frame).has_value());
+    std::uint64_t us = static_cast<std::uint64_t>(ts_sec) * 1'000'000 + ts_usec;
+    EXPECT_GE(us, last_us);
+    last_us = us;
+    records++;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(records, capture.entries().size());
+}
+
+TEST(TracePcap, RefusesWithoutKeptFrames) {
+  Pair pair;
+  PacketTrace capture(pair.net.scheduler());  // keep_frames off
+  capture.attach(pair.link, "ab");
+  testutil::ByteSinkServer server(pair.b, net::Ipv4Address(), 80);
+  auto client = pair.a.tcp().connect(net::Ipv4Address(), {ip(10, 0, 0, 2), 80});
+  client.value()->set_on_established([c = client.value()] { c->close(); });
+  pair.net.run();
+  ASSERT_FALSE(capture.entries().empty());
+  EXPECT_FALSE(capture.write_pcap(::testing::TempDir() + "nope.pcap").ok());
+}
+
 TEST(TraceCapture, SelectAndDump) {
   Pair pair;
   PacketTrace capture(pair.net.scheduler());

@@ -10,17 +10,19 @@
 // Examples:
 //   hydranet_sim ttcp --setup backup --backups 2 --size 512
 //   hydranet_sim sweep --setup clean --sizes 16,64,256,1024
-//   hydranet_sim failover --threshold 4 --crash-at 2000
-//   hydranet_sim trace --max 40
+//   hydranet_sim failover --threshold 4 --crash-at 2000 --stats out.json
+//   hydranet_sim trace --max 40 --pcap run.pcap
 #include "common/logging.hpp"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/ttcp.hpp"
+#include "stats/export.hpp"
 #include "testbed/testbed.hpp"
 #include "trace/packet_trace.hpp"
 
@@ -42,6 +44,9 @@ struct Options {
   int crash_index = 0;
   std::size_t max_trace = 60;
   std::vector<std::size_t> sizes = {16, 32, 64, 128, 256, 512, 1024};
+  std::string stats_file;    ///< empty = no stats export
+  std::string stats_format;  ///< "", "json", "csv" (default by extension)
+  std::string pcap_file;     ///< (trace) empty = no pcap export
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -59,7 +64,11 @@ struct Options {
       "  --crash-at MS      (failover) when to crash, after traffic start\n"
       "  --crash-index I    (failover) which server dies (0 = primary)\n"
       "  --sizes a,b,c      (sweep) write sizes\n"
-      "  --max N            (trace) max lines to print\n",
+      "  --max N            (trace) max lines to print\n"
+      "  --stats FILE       export metrics + event timeline (- = stdout)\n"
+      "  --stats-format F   json|csv (default: by FILE extension, else json)\n"
+      "  --pcap FILE        (trace) also write a libpcap capture\n"
+      "  --log-level L      trace|debug|info|warn|error|off (default error)\n",
       argv0);
   std::exit(2);
 }
@@ -70,6 +79,17 @@ testbed::Setup parse_setup(const std::string& name) {
   if (name == "primary") return testbed::Setup::primary_only;
   if (name == "backup") return testbed::Setup::primary_backup;
   std::fprintf(stderr, "unknown setup '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::trace;
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  std::fprintf(stderr, "unknown log level '%s'\n", name.c_str());
   std::exit(2);
 }
 
@@ -105,6 +125,19 @@ Options parse(int argc, char** argv) {
       options.crash_index = std::atoi(value().c_str());
     } else if (flag == "--max") {
       options.max_trace = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--stats") {
+      options.stats_file = value();
+    } else if (flag == "--stats-format") {
+      options.stats_format = value();
+      if (options.stats_format != "json" && options.stats_format != "csv") {
+        std::fprintf(stderr, "unknown stats format '%s' (json|csv)\n",
+                     options.stats_format.c_str());
+        std::exit(2);
+      }
+    } else if (flag == "--pcap") {
+      options.pcap_file = value();
+    } else if (flag == "--log-level") {
+      set_log_level(parse_log_level(value()));
     } else if (flag == "--sizes") {
       options.sizes.clear();
       std::string list = value();
@@ -123,6 +156,60 @@ Options parse(int argc, char** argv) {
   return options;
 }
 
+testbed::TestbedConfig make_config(const Options& options) {
+  testbed::TestbedConfig config;
+  config.setup = options.setup;
+  config.backups = options.backups;
+  config.seed = options.seed;
+  config.detector.retransmission_threshold = options.threshold;
+  return config;
+}
+
+// ---- stats output -----------------------------------------------------------
+
+bool stats_as_csv(const Options& options) {
+  if (options.stats_format == "csv") return true;
+  if (options.stats_format == "json") return false;
+  const std::string& f = options.stats_file;
+  return f.size() > 4 && f.compare(f.size() - 4, 4, ".csv") == 0;
+}
+
+/// Returns false (after reporting) when the stats file cannot be written.
+bool export_stats(const Options& options, const stats::Registry& registry) {
+  if (options.stats_file.empty()) return true;
+  std::string text =
+      stats_as_csv(options) ? stats::to_csv(registry) : stats::to_json(registry);
+  Status status = stats::write_file(options.stats_file, text);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write stats to %s\n",
+                 options.stats_file.c_str());
+    return false;
+  }
+  if (options.stats_file != "-") {
+    std::printf("stats written to %s\n", options.stats_file.c_str());
+  }
+  return true;
+}
+
+void print_stats_summary(const stats::Registry& registry) {
+  std::printf("\n%-22s %10s %10s %8s %6s %8s %8s\n", "node", "tcp.out",
+              "tcp.in", "rexmit", "rto", "gates", "drops");
+  for (const auto& [node, metrics] : registry.nodes()) {
+    auto c = [&](const char* name) {
+      return static_cast<unsigned long long>(
+          registry.counter_value(node, name));
+    };
+    std::printf("%-22s %10llu %10llu %8llu %6llu %8llu %8llu\n", node.c_str(),
+                c("tcp.segments_out"), c("tcp.segments_in"),
+                c("tcp.retransmits"), c("tcp.rto_firings"),
+                c("ftcp.deposit_gate_stalls") + c("ftcp.send_gate_stalls"),
+                c("link.queue_drops") + c("link.loss_drops"));
+  }
+  std::printf("timeline: %zu events\n", registry.timeline().events().size());
+}
+
+// ---- the shared measurement driver ------------------------------------------
+
 struct RunResult {
   double throughput_kBps = 0;
   bool finished = false;
@@ -131,56 +218,65 @@ struct RunResult {
   double elapsed_s = 0;
 };
 
-RunResult run_ttcp_once(const Options& options,
-                        testbed::Testbed* prebuilt = nullptr,
+RunResult run_ttcp_once(const Options& options, testbed::Testbed& bed,
                         std::int64_t crash_at_ms = -1, int crash_index = 0) {
-  testbed::TestbedConfig config;
-  config.setup = options.setup;
-  config.backups = options.backups;
-  config.seed = options.seed;
-  config.detector.retransmission_threshold = options.threshold;
-  std::unique_ptr<testbed::Testbed> owned;
-  testbed::Testbed* bed = prebuilt;
-  if (bed == nullptr) {
-    owned = std::make_unique<testbed::Testbed>(config);
-    bed = owned.get();
-  }
   if (options.loss > 0) {
-    bed->client_link().set_loss_model(
+    bed.client_link().set_loss_model(
         std::make_unique<link::BernoulliLoss>(options.loss));
   }
 
   tcp::TcpOptions tcp_options = apps::period_tcp_options();
   tcp_options.mss = options.mss;
   std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
-  for (std::size_t i = 0; i < bed->server_count(); ++i) {
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
     receivers.push_back(std::make_unique<apps::TtcpReceiver>(
-        bed->server(i), config.service.address, config.service.port,
+        bed.server(i), bed.config().service.address, bed.config().service.port,
         tcp_options));
   }
   apps::TtcpTransmitter::Config tx;
-  tx.server = config.service;
+  tx.server = bed.config().service;
   tx.write_size = options.write_size;
   tx.total_bytes = options.total_bytes;
   tx.tcp = tcp_options;
-  apps::TtcpTransmitter transmitter(bed->client(), tx);
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
   if (!transmitter.start().ok()) return {};
 
   if (crash_at_ms >= 0) {
-    bed->net().run_for(sim::milliseconds(crash_at_ms));
+    bed.net().run_for(sim::milliseconds(crash_at_ms));
     if (!transmitter.report().finished &&
-        crash_index < static_cast<int>(bed->server_count())) {
-      std::printf("t=%.3fs crashing server %d\n", bed->net().now().seconds(),
+        crash_index < static_cast<int>(bed.server_count())) {
+      std::printf("t=%.3fs crashing server %d\n", bed.net().now().seconds(),
                   crash_index);
-      bed->crash_server(static_cast<std::size_t>(crash_index));
+      bed.crash_server(static_cast<std::size_t>(crash_index));
+
+      // Watch the client's acknowledged extent.  ACKs already in flight
+      // from the dead primary may still advance it a little, so the
+      // resume marker is the acknowledged extent passing the crash-time
+      // send frontier — data only the promoted backup can acknowledge.
+      if (auto connection = transmitter.connection()) {
+        std::uint32_t una_at_crash = connection->snd_una_wire();
+        std::uint32_t frontier = connection->snd_nxt_wire();
+        auto poll = std::make_shared<std::function<void()>>();
+        testbed::Testbed* bed_ptr = &bed;
+        *poll = [bed_ptr, connection, una_at_crash, frontier, poll] {
+          std::uint32_t una = connection->snd_una_wire();
+          if (net::seq::geq(una, frontier) && net::seq::gt(una, una_at_crash)) {
+            bed_ptr->client().record_event(stats::event::kStreamResumed,
+                                           "acks passed crash-time frontier");
+            return;
+          }
+          bed_ptr->scheduler().schedule_after(sim::milliseconds(1), *poll);
+        };
+        bed.scheduler().schedule_after(sim::milliseconds(1), *poll);
+      }
     }
   }
-  sim::TimePoint deadline = bed->net().now() + sim::seconds(600);
-  while (bed->net().now() < deadline && !transmitter.report().finished &&
+  sim::TimePoint deadline = bed.net().now() + sim::seconds(600);
+  while (bed.net().now() < deadline && !transmitter.report().finished &&
          !transmitter.report().failed) {
-    bed->net().run_for(sim::milliseconds(500));
+    bed.net().run_for(sim::milliseconds(500));
   }
-  bed->net().run_for(sim::seconds(1));
+  bed.net().run_for(sim::seconds(1));
 
   RunResult result;
   result.finished = transmitter.report().finished;
@@ -199,8 +295,11 @@ RunResult run_ttcp_once(const Options& options,
   return result;
 }
 
+// ---- subcommands ------------------------------------------------------------
+
 int cmd_ttcp(const Options& options) {
-  RunResult result = run_ttcp_once(options);
+  testbed::Testbed bed(make_config(options));
+  RunResult result = run_ttcp_once(options, bed);
   std::printf("setup=%s backups=%d size=%zu total=%zu loss=%.3f seed=%llu\n",
               testbed::to_string(options.setup), options.backups,
               options.write_size, options.total_bytes, options.loss,
@@ -212,22 +311,39 @@ int cmd_ttcp(const Options& options) {
               result.elapsed_s,
               static_cast<unsigned long long>(result.retransmits),
               static_cast<unsigned long long>(result.timeouts));
+  if (!options.stats_file.empty()) {
+    stats::Registry& registry = bed.stats();
+    print_stats_summary(registry);
+    if (!export_stats(options, registry)) return 1;
+  }
   return result.finished ? 0 : 1;
 }
 
 int cmd_sweep(const Options& options) {
-  std::printf("csv,setup,size,kBps,retransmits,timeouts\n");
+  std::printf(
+      "csv,setup,size,kBps,retransmits,timeouts,deposit_stalls,send_stalls\n");
   for (std::size_t size : options.sizes) {
     Options one = options;
     one.write_size = size;
     one.total_bytes = std::clamp<std::size_t>(size * 1500, 96 * 1024,
                                               2 * 1024 * 1024);
-    RunResult result = run_ttcp_once(one);
-    std::printf("csv,%s,%zu,%.1f,%llu,%llu\n",
+    testbed::Testbed bed(make_config(one));
+    RunResult result = run_ttcp_once(one, bed);
+    stats::Registry& registry = bed.stats();
+    std::printf("csv,%s,%zu,%.1f,%llu,%llu,%llu,%llu\n",
                 testbed::to_string(options.setup), size,
                 result.throughput_kBps,
                 static_cast<unsigned long long>(result.retransmits),
-                static_cast<unsigned long long>(result.timeouts));
+                static_cast<unsigned long long>(result.timeouts),
+                static_cast<unsigned long long>(
+                    registry.total("ftcp.deposit_gate_stalls")),
+                static_cast<unsigned long long>(
+                    registry.total("ftcp.send_gate_stalls")));
+    if (!options.stats_file.empty() && size == options.sizes.back()) {
+      // One registry per run; export the last size's (the CSV rows above
+      // carry the per-size counters).
+      if (!export_stats(options, registry)) return 1;
+    }
   }
   return 0;
 }
@@ -235,35 +351,56 @@ int cmd_sweep(const Options& options) {
 int cmd_failover(const Options& options) {
   Options one = options;
   one.setup = testbed::Setup::primary_backup;
+  testbed::Testbed bed(make_config(one));
   RunResult result =
-      run_ttcp_once(one, nullptr, options.crash_at_ms, options.crash_index);
+      run_ttcp_once(one, bed, options.crash_at_ms, options.crash_index);
   std::printf("failover run: %s, %.1f kB/s end-to-end, %llu retransmits, "
               "%llu timeouts\n",
               result.finished ? "stream completed" : "STREAM FAILED",
               result.throughput_kBps,
               static_cast<unsigned long long>(result.retransmits),
               static_cast<unsigned long long>(result.timeouts));
+
+  stats::Registry& registry = bed.stats();
+  stats::FailoverPhases phases = stats::failover_phases(registry.timeline());
+  auto phase = [](double ms) -> std::string {
+    if (ms < 0) return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f ms", ms);
+    return buf;
+  };
+  if (phases.crash_s >= 0) {
+    std::printf("timeline: crash at %.3fs; failure report %s; elimination %s; "
+                "promotion %s; stream resumed %s\n",
+                phases.crash_s, phase(phases.report_ms).c_str(),
+                phase(phases.detection_ms).c_str(),
+                phase(phases.promote_ms).c_str(),
+                phase(phases.resume_ms).c_str());
+  } else {
+    std::printf("timeline: no crash recorded (stream finished first?)\n");
+  }
+  if (!options.stats_file.empty()) {
+    print_stats_summary(registry);
+    if (!export_stats(options, registry)) return 1;
+  }
   return result.finished ? 0 : 1;
 }
 
 int cmd_trace(const Options& options) {
-  testbed::TestbedConfig config;
-  config.setup = options.setup;
-  config.backups = options.backups;
-  config.seed = options.seed;
-  testbed::Testbed bed(config);
+  testbed::Testbed bed(make_config(options));
   trace::PacketTrace capture(bed.scheduler(), options.max_trace);
+  if (!options.pcap_file.empty()) capture.set_keep_frames(true);
   capture.attach(bed.client_link(), "cli-rd");
 
   tcp::TcpOptions tcp_options = apps::period_tcp_options();
   std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
   for (std::size_t i = 0; i < bed.server_count(); ++i) {
     receivers.push_back(std::make_unique<apps::TtcpReceiver>(
-        bed.server(i), config.service.address, config.service.port,
+        bed.server(i), bed.config().service.address, bed.config().service.port,
         tcp_options));
   }
   apps::TtcpTransmitter::Config tx;
-  tx.server = config.service;
+  tx.server = bed.config().service;
   tx.write_size = options.write_size;
   tx.total_bytes = std::min<std::size_t>(options.total_bytes, 64 * 1024);
   apps::TtcpTransmitter transmitter(bed.client(), tx);
@@ -274,16 +411,24 @@ int cmd_trace(const Options& options) {
     std::printf("... %zu more frames not shown (--max %zu)\n",
                 capture.dropped(), options.max_trace);
   }
+  if (!options.pcap_file.empty()) {
+    Status status = capture.write_pcap(options.pcap_file);
+    if (status.ok()) {
+      std::printf("pcap written to %s (%zu frames)\n",
+                  options.pcap_file.c_str(), capture.entries().size());
+    } else {
+      std::fprintf(stderr, "failed to write pcap to %s\n",
+                   options.pcap_file.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
 int cmd_ping(const Options& options) {
-  testbed::TestbedConfig config;
-  config.setup = options.setup;
-  config.backups = options.backups;
-  testbed::Testbed bed(config);
+  testbed::Testbed bed(make_config(options));
   int exit_code = 1;
-  bed.client().icmp().ping(config.service.address,
+  bed.client().icmp().ping(bed.config().service.address,
                            [&](const icmp::IcmpStack::PingReply& reply) {
                              if (reply.ok) {
                                std::printf("reply from %s: rtt %.3f ms\n",
