@@ -1,0 +1,243 @@
+// Sustained packet-rate scenarios for the zero-copy datapath: how many
+// simulated packets per second of wall-clock time the simulator pushes
+// through (a) a plain one-hop path, (b) a scaled redirect, and (c) a
+// fault-tolerant fan-out to several backups.
+//
+// Unlike the google-benchmark binaries this is a plain scenario runner so
+// it can emit machine-readable results:
+//
+//   bench_packet_rate [--packets N] [--json PATH]
+//
+// With --json the results (rates plus the datapath copy/alloc counters)
+// are written as a JSON document; the repo keeps a committed snapshot in
+// BENCH_datapath.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/inline_function.hpp"
+#include "common/packet_buffer.hpp"
+#include "host/network.hpp"
+#include "redirector/redirector.hpp"
+
+namespace {
+
+using namespace hydranet;
+
+struct ScenarioResult {
+  std::string name;
+  int replicas = 0;            ///< tunnelled copies per packet (0 = no tunnel)
+  std::size_t packets = 0;
+  std::size_t payload_bytes = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  double packets_per_wall_second = 0;
+  // Datapath counter deltas over the scenario.
+  std::uint64_t copies = 0;
+  std::uint64_t copied_bytes = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t cow_breaks = 0;
+  std::uint64_t flattens = 0;
+  std::uint64_t scheduler_heap_fallbacks = 0;
+  // Redirector accounting (zero for the plain one-hop scenario).
+  std::uint64_t redirected = 0;
+  std::uint64_t copies_sent = 0;
+  std::uint64_t inner_serializations = 0;
+  /// copied_bytes the pre-zero-copy datapath would have spent duplicating
+  /// the inner frame into every tunnel copy (inner wire size x copies).
+  std::uint64_t naive_fanout_copy_bytes = 0;
+};
+
+/// Streams `packets` UDP datagrams from a client through a redirector to a
+/// service with `backups` backup replicas (backups < 0: no redirection at
+/// all, plain one-hop delivery).
+ScenarioResult run_scenario(const std::string& name, int backups,
+                            std::size_t packets, std::size_t payload_bytes) {
+  ScenarioResult result;
+  result.name = name;
+  result.packets = packets;
+  result.payload_bytes = payload_bytes;
+
+  host::Network net{42};
+  host::Host& client = net.add_host("client");
+  net::Endpoint service{net::Ipv4Address(192, 20, 225, 20), 80};
+  std::size_t delivered = 0;
+  auto attach_sink = [&](host::Host& server) {
+    server.v_host(service.address);
+    auto sink = server.udp().bind(service.address, 80).value();
+    sink->set_rx_handler([&delivered](const net::Endpoint&, CowBytes data) {
+      delivered += data.size();
+    });
+  };
+
+  redirector::Redirector* redirector = nullptr;
+  host::Host* rd = nullptr;
+  if (backups < 0) {
+    // Plain one-hop path: client -> server, no tunnel.
+    host::Host& server = net.add_host("server");
+    net.connect(client, net::Ipv4Address(10, 0, 1, 2), server,
+                net::Ipv4Address(10, 0, 1, 1), 24);
+    client.ip().add_default_route(net::Ipv4Address(10, 0, 1, 1), nullptr);
+    attach_sink(server);
+    result.replicas = 0;
+  } else {
+    rd = &net.add_host("rd");
+    net.connect(client, net::Ipv4Address(10, 0, 1, 2), *rd,
+                net::Ipv4Address(10, 0, 1, 1), 24);
+    client.ip().add_default_route(net::Ipv4Address(10, 0, 1, 1), nullptr);
+    redirector = new redirector::Redirector(*rd);
+    rd->ip().add_route(service.address, 32, net::Ipv4Address(10, 0, 2, 2),
+                       nullptr);
+    for (int i = 0; i <= backups; ++i) {
+      host::Host& server = net.add_host("s" + std::to_string(i + 1));
+      auto subnet = static_cast<std::uint8_t>(2 + i);
+      net.connect(*rd, net::Ipv4Address(10, 0, subnet, 1), server,
+                  net::Ipv4Address(10, 0, subnet, 2), 24);
+      server.ip().add_default_route(net::Ipv4Address(10, 0, subnet, 1),
+                                    nullptr);
+      attach_sink(server);
+      if (i == 0) {
+        redirector->install_service(
+            service,
+            backups > 0 ? redirector::ServiceMode::fault_tolerant
+                        : redirector::ServiceMode::scaled,
+            net::Ipv4Address(10, 0, subnet, 2));
+      } else {
+        (void)redirector->add_backup(service,
+                                     net::Ipv4Address(10, 0, subnet, 2));
+      }
+    }
+    result.replicas = backups + 1;
+  }
+
+  auto socket = client.udp().bind(net::Ipv4Address(), 0).value();
+  Bytes payload(payload_bytes, 0xaa);
+
+  reset_datapath_counters();
+  const std::uint64_t heap_before = inline_function_heap_allocs();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::TimePoint sim_start = net.now();
+  for (std::size_t i = 0; i < packets; ++i) {
+    (void)socket->send_to(service, payload);
+    net.run();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.sim_seconds = (net.now() - sim_start).seconds();
+  result.packets_per_wall_second =
+      result.wall_seconds > 0 ? static_cast<double>(packets) / result.wall_seconds
+                              : 0;
+  const DatapathCounters& dp = datapath_counters();
+  result.copies = dp.copies;
+  result.copied_bytes = dp.copied_bytes;
+  result.allocations = dp.allocations;
+  result.cow_breaks = dp.cow_breaks;
+  result.flattens = dp.flattens;
+  result.scheduler_heap_fallbacks =
+      inline_function_heap_allocs() - heap_before;
+  if (redirector != nullptr) {
+    result.redirected = redirector->stats().redirected_datagrams;
+    result.copies_sent = redirector->stats().copies_sent;
+    result.inner_serializations = redirector->stats().inner_serializations;
+    // Inner wire = 20B IP header + 8B UDP header + payload, duplicated into
+    // every tunnel copy by the old memcpy-per-replica fan-out.
+    result.naive_fanout_copy_bytes =
+        result.copies_sent * (20 + 8 + payload_bytes);
+  }
+  if (delivered == 0) std::fprintf(stderr, "warning: nothing delivered\n");
+  delete redirector;
+  return result;
+}
+
+void write_json(const std::vector<ScenarioResult>& results,
+                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_packet_rate\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated packets per wall-clock second\",\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"replicas\": %d,\n", r.replicas);
+    std::fprintf(f, "      \"packets\": %zu,\n", r.packets);
+    std::fprintf(f, "      \"payload_bytes\": %zu,\n", r.payload_bytes);
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", r.wall_seconds);
+    std::fprintf(f, "      \"sim_seconds\": %.6f,\n", r.sim_seconds);
+    std::fprintf(f, "      \"packets_per_wall_second\": %.1f,\n",
+                 r.packets_per_wall_second);
+    std::fprintf(f, "      \"datapath\": {\n");
+    std::fprintf(f, "        \"copies\": %llu,\n",
+                 static_cast<unsigned long long>(r.copies));
+    std::fprintf(f, "        \"copied_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.copied_bytes));
+    std::fprintf(f, "        \"allocations\": %llu,\n",
+                 static_cast<unsigned long long>(r.allocations));
+    std::fprintf(f, "        \"cow_breaks\": %llu,\n",
+                 static_cast<unsigned long long>(r.cow_breaks));
+    std::fprintf(f, "        \"flattens\": %llu,\n",
+                 static_cast<unsigned long long>(r.flattens));
+    std::fprintf(f, "        \"scheduler_heap_fallbacks\": %llu\n",
+                 static_cast<unsigned long long>(r.scheduler_heap_fallbacks));
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"redirector\": {\n");
+    std::fprintf(f, "        \"redirected_datagrams\": %llu,\n",
+                 static_cast<unsigned long long>(r.redirected));
+    std::fprintf(f, "        \"copies_sent\": %llu,\n",
+                 static_cast<unsigned long long>(r.copies_sent));
+    std::fprintf(f, "        \"inner_serializations\": %llu,\n",
+                 static_cast<unsigned long long>(r.inner_serializations));
+    std::fprintf(f, "        \"naive_fanout_copy_bytes\": %llu\n",
+                 static_cast<unsigned long long>(r.naive_fanout_copy_bytes));
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t packets = 20000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
+      packets = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--packets N] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(run_scenario("one_hop_udp", -1, packets, 1000));
+  results.push_back(run_scenario("scaled_redirect", 0, packets, 1000));
+  results.push_back(run_scenario("ft_fanout_3_backups", 3, packets, 1000));
+
+  for (const ScenarioResult& r : results) {
+    std::printf(
+        "%-22s replicas=%d packets=%zu wall=%.3fs rate=%.0f pkt/s "
+        "copied=%lluB (naive fan-out would copy %lluB) "
+        "inner_serializations=%llu sched_heap=%llu\n",
+        r.name.c_str(), r.replicas, r.packets, r.wall_seconds,
+        r.packets_per_wall_second,
+        static_cast<unsigned long long>(r.copied_bytes),
+        static_cast<unsigned long long>(r.naive_fanout_copy_bytes),
+        static_cast<unsigned long long>(r.inner_serializations),
+        static_cast<unsigned long long>(r.scheduler_heap_fallbacks));
+  }
+  if (!json_path.empty()) write_json(results, json_path);
+  return 0;
+}

@@ -52,6 +52,13 @@ Bytes ByteReader::raw(std::size_t n) {
   return out;
 }
 
+BytesView ByteReader::view(std::size_t n) {
+  if (!ensure(n)) return {};
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string ByteReader::str16() {
   std::uint16_t n = u16();
   if (!ensure(n)) return {};

@@ -63,6 +63,10 @@ class ByteReader {
   std::uint64_t u64();
   /// Copies `n` bytes out; yields an empty vector (and truncates) on overrun.
   Bytes raw(std::size_t n);
+  /// Borrows `n` bytes without copying; yields an empty view (and
+  /// truncates) on overrun.  The view aliases the reader's buffer, so it
+  /// is only valid while that buffer lives.
+  BytesView view(std::size_t n);
   /// Reads a u16 length prefix then that many bytes as a string.
   std::string str16();
   /// Skips `n` bytes.

@@ -1,0 +1,126 @@
+// Move-only callable with small-buffer optimisation, used as the
+// scheduler's event callback type.
+//
+// std::function heap-allocates any capture larger than ~2 pointers, which
+// on the event-queue hot path means one malloc/free per scheduled packet.
+// Nearly every datapath callback (a captured frame or datagram plus a few
+// pointers) fits in a fixed inline buffer, so InlineFunction stores the
+// callable in place and only falls back to the heap for outsized or
+// throwing-move captures.  Fallbacks are counted (the stats registry
+// publishes them as `scheduler.alloc_fallbacks`) so capture-size
+// regressions are observable instead of silent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hydranet {
+
+/// Number of callables that did not fit inline and were heap-allocated.
+std::uint64_t& inline_function_heap_allocs();
+
+template <std::size_t Capacity = 128>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT: mirror std::function
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* obj);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* obj) { (*static_cast<Fn*>(obj))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* obj) { static_cast<Fn*>(obj)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* obj) { (**static_cast<Fn**>(obj))(); },
+        [](void* dst, void* src) {
+          *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+        },
+        [](void* obj) { delete *static_cast<Fn**>(obj); },
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (buffer_) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (buffer_) (Fn*)(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+      inline_function_heap_allocs()++;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hydranet

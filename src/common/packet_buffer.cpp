@@ -1,0 +1,96 @@
+#include "common/packet_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/inline_function.hpp"
+
+namespace hydranet {
+
+std::uint64_t& inline_function_heap_allocs() {
+  static std::uint64_t count = 0;
+  return count;
+}
+
+namespace {
+DatapathCounters g_datapath_counters;
+}  // namespace
+
+DatapathCounters& datapath_counters() { return g_datapath_counters; }
+
+void reset_datapath_counters() { g_datapath_counters = DatapathCounters{}; }
+
+PacketBuffer::PacketBuffer(Bytes data) {
+  len_ = data.size();
+  if (len_ != 0) {
+    storage_ = std::make_shared<Storage>(Storage{std::move(data)});
+    g_datapath_counters.allocations++;
+  }
+}
+
+PacketBuffer PacketBuffer::copy_of(BytesView data) {
+  g_datapath_counters.copies++;
+  g_datapath_counters.copied_bytes += data.size();
+  return PacketBuffer(Bytes(data.begin(), data.end()));
+}
+
+PacketBuffer PacketBuffer::chain(Bytes header, PacketBuffer tail) {
+  PacketBuffer head{std::move(header)};
+  if (!tail.empty()) {
+    head.tail_len_ = tail.size();
+    head.tail_ = std::make_shared<const PacketBuffer>(std::move(tail));
+  }
+  return head;
+}
+
+BytesView PacketBuffer::head_view() const {
+  if (storage_ == nullptr || len_ == 0) return {};
+  return BytesView(storage_->data.data() + offset_, len_);
+}
+
+PacketBuffer PacketBuffer::slice(std::size_t offset, std::size_t len) const {
+  assert(contiguous());
+  assert(offset + len <= len_);
+  if (len == 0) return {};
+  return PacketBuffer(storage_, offset_ + offset, len);
+}
+
+Bytes PacketBuffer::flatten_copy() const {
+  g_datapath_counters.copies++;
+  g_datapath_counters.copied_bytes += size();
+  Bytes out;
+  out.reserve(size());
+  for_each_segment(
+      [&](BytesView seg) { out.insert(out.end(), seg.begin(), seg.end()); });
+  return out;
+}
+
+PacketBuffer PacketBuffer::flattened() const {
+  if (contiguous()) return *this;
+  g_datapath_counters.flattens++;
+  return PacketBuffer(flatten_copy());
+}
+
+void CowBytes::ensure_unique() {
+  // Mutable access needs this payload to be the sole owner of a plain
+  // full-range backing store; anything else (chained, sliced, or shared
+  // with other frames/replicas) is copied out first.
+  if (buffer_.storage_ != nullptr && buffer_.contiguous() &&
+      buffer_.storage_.use_count() == 1 && buffer_.offset_ == 0 &&
+      buffer_.len_ == buffer_.storage_->data.size()) {
+    return;
+  }
+  if (buffer_.storage_ != nullptr && buffer_.storage_.use_count() > 1) {
+    datapath_counters().cow_breaks++;
+  }
+  Bytes data =
+      buffer_.storage_ == nullptr ? Bytes{} : buffer_.flatten_copy();
+  buffer_.storage_ =
+      std::make_shared<PacketBuffer::Storage>(PacketBuffer::Storage{std::move(data)});
+  datapath_counters().allocations++;
+  buffer_.offset_ = 0;
+  buffer_.len_ = buffer_.storage_->data.size();
+  buffer_.tail_.reset();
+  buffer_.tail_len_ = 0;
+}
+
+}  // namespace hydranet

@@ -1,0 +1,235 @@
+// Reference-counted, copy-on-write packet buffers for the zero-copy
+// datapath.
+//
+// A PacketBuffer is a view (offset, length) into shared backing storage,
+// optionally followed by a chained tail buffer.  Chaining is how headers
+// are prepended without copying the payload: a frame built by the IP layer
+// is a freshly serialised 20-byte header whose tail is the (shared)
+// transport payload, and an IP-in-IP tunnel copy is a 20-byte outer header
+// whose tail is the whole inner frame.  The redirector's one-to-many
+// fan-out therefore serialises the inner datagram once and shares it
+// across primary + backups — per-replica bytes diverge only in the outer
+// header.
+//
+// CowBytes is the datapath's payload type (net::Datagram, net::TcpSegment,
+// UDP delivery): vector-like byte container semantics on top of a shared
+// PacketBuffer.  Reads borrow; mutation triggers copy-on-write, so holding
+// several references to one buffer (fan-out replicas, trace entries,
+// queued frames) is always safe.
+//
+// All copy/allocation activity is tallied in a process-wide counter block
+// (the simulator is single-threaded) so regressions show up in the stats
+// registry as `datapath.*` metrics and in the packet-path benchmarks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace hydranet {
+
+/// Process-wide datapath buffer accounting (see DESIGN.md §8).
+struct DatapathCounters {
+  std::uint64_t allocations = 0;   ///< backing-store allocations
+  std::uint64_t copies = 0;        ///< explicit byte copies of any kind
+  std::uint64_t copied_bytes = 0;  ///< bytes moved by those copies
+  std::uint64_t cow_breaks = 0;    ///< mutations that unshared a buffer
+  std::uint64_t flattens = 0;      ///< chained buffers gathered contiguous
+};
+
+DatapathCounters& datapath_counters();
+void reset_datapath_counters();
+
+class PacketBuffer {
+ public:
+  PacketBuffer() = default;
+
+  /// Adopts `data` as backing storage — no byte copy.
+  explicit PacketBuffer(Bytes data);
+
+  /// Copies `data` into fresh storage (counted).
+  static PacketBuffer copy_of(BytesView data);
+
+  /// A buffer whose head is `header` (adopted) and whose tail shares
+  /// `tail`'s storage.  This is the zero-copy "prepend a header" path.
+  static PacketBuffer chain(Bytes header, PacketBuffer tail);
+
+  /// Total bytes, including any chained tail.
+  std::size_t size() const { return len_ + tail_len_; }
+  bool empty() const { return size() == 0; }
+
+  /// True when all bytes live in one contiguous run (no chained tail).
+  bool contiguous() const { return tail_ == nullptr; }
+
+  /// View of this buffer's own bytes, excluding any chained tail.
+  BytesView head_view() const;
+
+  /// View of the whole buffer.  Only valid on contiguous buffers; gather a
+  /// chained buffer with flattened() first.
+  BytesView view() const {
+    assert(contiguous());
+    return head_view();
+  }
+
+  /// The chained tail, or null for contiguous buffers.
+  const PacketBuffer* tail() const { return tail_.get(); }
+
+  /// Zero-copy sub-range of a contiguous buffer (shares storage; the
+  /// backing allocation stays alive as long as any slice does).
+  PacketBuffer slice(std::size_t offset, std::size_t len) const;
+
+  /// Gathers all segments into one newly-allocated Bytes (counted copy).
+  Bytes flatten_copy() const;
+
+  /// A contiguous buffer with the same bytes: *this when already
+  /// contiguous (shares storage), else a flattened copy.
+  PacketBuffer flattened() const;
+
+  /// Visits every contiguous segment in wire order.
+  template <typename Fn>
+  void for_each_segment(Fn&& fn) const {
+    for (const PacketBuffer* b = this; b != nullptr; b = b->tail_.get()) {
+      if (b->len_ != 0) fn(b->head_view());
+    }
+  }
+
+  /// How many owners the head's backing storage has (tests/benches).
+  long storage_use_count() const {
+    return storage_ == nullptr ? 0 : storage_.use_count();
+  }
+
+  /// True if both heads share the same backing allocation (tests).
+  bool shares_storage_with(const PacketBuffer& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+ private:
+  friend class CowBytes;
+  struct Storage {
+    Bytes data;
+  };
+
+  PacketBuffer(std::shared_ptr<Storage> storage, std::size_t offset,
+               std::size_t len)
+      : storage_(std::move(storage)), offset_(offset), len_(len) {}
+
+  std::shared_ptr<Storage> storage_;
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+  std::shared_ptr<const PacketBuffer> tail_;
+  std::size_t tail_len_ = 0;  ///< cached tail->size()
+};
+
+/// Vector-like byte payload backed by a shared PacketBuffer.
+///
+/// Const access borrows (a chained backing buffer is flattened lazily, at
+/// most once); mutating access performs copy-on-write.  Implicitly
+/// converts from Bytes (adopting rvalues without a copy) and to
+/// Bytes/BytesView, so protocol handlers written against plain Bytes keep
+/// working — they just pay the copy the datapath no longer forces on
+/// everyone else.
+class CowBytes {
+ public:
+  CowBytes() = default;
+  CowBytes(Bytes data) : buffer_(std::move(data)) {}  // NOLINT: adopting
+  CowBytes(std::initializer_list<std::uint8_t> init) : buffer_(Bytes(init)) {}
+  explicit CowBytes(PacketBuffer buffer) : buffer_(std::move(buffer)) {}
+
+  static CowBytes copy_of(BytesView data) {
+    return CowBytes(PacketBuffer::copy_of(data));
+  }
+
+  CowBytes& operator=(Bytes data) {
+    buffer_ = PacketBuffer(std::move(data));
+    return *this;
+  }
+  CowBytes& operator=(std::initializer_list<std::uint8_t> init) {
+    buffer_ = PacketBuffer(Bytes(init));
+    return *this;
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+
+  /// Contiguous read-only view (flattens a chained backing buffer once).
+  BytesView view() const {
+    if (!buffer_.contiguous()) buffer_ = buffer_.flattened();
+    return buffer_.view();
+  }
+
+  operator BytesView() const { return view(); }  // NOLINT: borrowing
+  operator Bytes() const {                       // NOLINT: compat copy
+    return buffer_.flatten_copy();
+  }
+
+  const std::uint8_t* data() const { return view().data(); }
+  const std::uint8_t* begin() const { return view().data(); }
+  const std::uint8_t* end() const { return view().data() + buffer_.size(); }
+  const std::uint8_t& operator[](std::size_t i) const { return view()[i]; }
+
+  std::uint8_t* mutable_data() {
+    ensure_unique();
+    return storage().data.data();
+  }
+  std::uint8_t* begin_mut() { return mutable_data(); }
+  // Non-const iteration mutates (tests patch payload bytes in place).
+  std::uint8_t* begin() { return mutable_data(); }
+  std::uint8_t* end() { return mutable_data() + size(); }
+  std::uint8_t& operator[](std::size_t i) { return mutable_data()[i]; }
+
+  void clear() { buffer_ = PacketBuffer(); }
+  void resize(std::size_t n) {
+    ensure_unique();
+    storage().data.resize(n);
+    buffer_.len_ = n;
+  }
+  void push_back(std::uint8_t v) {
+    ensure_unique();
+    storage().data.push_back(v);
+    buffer_.len_ += 1;
+  }
+  void assign(std::size_t n, std::uint8_t v) {
+    buffer_ = PacketBuffer(Bytes(n, v));
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    buffer_ = PacketBuffer(Bytes(first, last));
+  }
+
+  /// Zero-copy sub-range sharing this payload's storage.
+  CowBytes slice(std::size_t offset, std::size_t len) const {
+    if (!buffer_.contiguous()) buffer_ = buffer_.flattened();
+    return CowBytes(buffer_.slice(offset, len));
+  }
+
+  /// The backing buffer (possibly chained); frames built from this payload
+  /// share it instead of copying.
+  const PacketBuffer& buffer() const { return buffer_; }
+
+  bool shares_storage_with(const CowBytes& other) const {
+    return buffer_.shares_storage_with(other.buffer_);
+  }
+
+ private:
+  void ensure_unique();
+  PacketBuffer::Storage& storage() { return *buffer_.storage_; }
+
+  // Mutable: const reads may flatten a chained backing buffer in place.
+  mutable PacketBuffer buffer_;
+};
+
+inline bool operator==(const CowBytes& a, const CowBytes& b) {
+  BytesView va = a.view(), vb = b.view();
+  return va.size() == vb.size() && std::equal(va.begin(), va.end(), vb.begin());
+}
+inline bool operator==(const CowBytes& a, const Bytes& b) {
+  BytesView va = a.view();
+  return va.size() == b.size() && std::equal(va.begin(), va.end(), b.begin());
+}
+inline bool operator==(const Bytes& a, const CowBytes& b) { return b == a; }
+
+}  // namespace hydranet

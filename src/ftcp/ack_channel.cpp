@@ -42,7 +42,7 @@ AckChannel::AckChannel(host::Host& host, std::uint16_t port)
     return;
   }
   socket_ = socket.value();
-  socket_->set_rx_handler([this](const net::Endpoint& from, Bytes data) {
+  socket_->set_rx_handler([this](const net::Endpoint& from, CowBytes data) {
     on_datagram(from, std::move(data));
   });
 }
@@ -73,7 +73,7 @@ void AckChannel::unregister_service(const net::Endpoint& service) {
   handlers_.erase(service);
 }
 
-void AckChannel::on_datagram(const net::Endpoint& from, Bytes data) {
+void AckChannel::on_datagram(const net::Endpoint& from, CowBytes data) {
   auto parsed = AckChannelMessage::parse(data);
   if (!parsed) return;
   received_++;

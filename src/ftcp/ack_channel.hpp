@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "host/host.hpp"
 #include "net/address.hpp"
@@ -63,7 +64,7 @@ class AckChannel {
   std::uint64_t messages_send_failed() const { return send_failures_; }
 
  private:
-  void on_datagram(const net::Endpoint& from, Bytes data);
+  void on_datagram(const net::Endpoint& from, CowBytes data);
 
   host::Host& host_;
   std::uint16_t port_;

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/inline_function.hpp"
 #include "common/logging.hpp"
+#include "common/packet_buffer.hpp"
 
 namespace hydranet::host {
 
@@ -16,7 +18,7 @@ Host::Host(sim::Scheduler& scheduler, std::string name, std::uint64_t seed)
       icmp_(ip_) {
   // Datagrams to dead UDP ports earn an ICMP port-unreachable.
   udp_.set_unbound_handler(
-      [this](const net::Ipv4Header& header, const Bytes& payload) {
+      [this](const net::Ipv4Header& header, const CowBytes& payload) {
         net::Datagram offending;
         offending.header = header;
         offending.payload = payload;
@@ -112,6 +114,16 @@ link::Link& Network::connect(Host& a, net::Ipv4Address address_a, Host& b,
 
 void Network::publish_metrics() {
   for (const auto& [name, host] : hosts_) host->publish_metrics(metrics_);
+  // Process-wide datapath counters (the simulation is single-threaded, so
+  // these aggregate every node in this network).
+  const DatapathCounters& dp = datapath_counters();
+  metrics_.set_counter("datapath", "datapath.allocations", dp.allocations);
+  metrics_.set_counter("datapath", "datapath.copies", dp.copies);
+  metrics_.set_counter("datapath", "datapath.copied_bytes", dp.copied_bytes);
+  metrics_.set_counter("datapath", "datapath.cow_breaks", dp.cow_breaks);
+  metrics_.set_counter("datapath", "datapath.flattens", dp.flattens);
+  metrics_.set_counter("scheduler", "scheduler.alloc_fallbacks",
+                       inline_function_heap_allocs());
   for (const auto& link : links_) {
     const link::Link::Stats& s = link->stats();
     const std::string& node = link->label();

@@ -38,10 +38,10 @@ Result<IcmpMessage> IcmpMessage::parse(BytesView wire) {
 }
 
 IcmpStack::IcmpStack(ip::IpStack& ip) : ip_(ip) {
-  ip_.register_protocol(kIcmpProto,
-                        [this](const net::Ipv4Header& header, Bytes payload) {
-                          on_datagram(header, std::move(payload));
-                        });
+  ip_.register_protocol(
+      kIcmpProto, [this](const net::Ipv4Header& header, CowBytes payload) {
+        on_datagram(header, std::move(payload));
+      });
   // Forwarding-plane errors originate here.
   ip_.set_ttl_expired_handler(
       [this](const net::Datagram& offending) { send_time_exceeded(offending); });
@@ -186,7 +186,7 @@ void IcmpStack::send_error(const net::Datagram& offending, IcmpType type,
   (void)ip_.send(std::move(datagram));
 }
 
-void IcmpStack::on_datagram(const net::Ipv4Header& header, Bytes payload) {
+void IcmpStack::on_datagram(const net::Ipv4Header& header, CowBytes payload) {
   auto parsed = IcmpMessage::parse(payload);
   if (!parsed) return;
   IcmpMessage message = std::move(parsed).value();

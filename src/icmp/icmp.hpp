@@ -128,7 +128,7 @@ class IcmpStack {
     sim::TimerId timeout_timer = sim::kInvalidTimer;
   };
 
-  void on_datagram(const net::Ipv4Header& header, Bytes payload);
+  void on_datagram(const net::Ipv4Header& header, CowBytes payload);
   void send_error(const net::Datagram& offending, IcmpType type,
                   std::uint8_t code);
   void traceroute_probe();

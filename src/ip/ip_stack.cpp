@@ -34,7 +34,7 @@ link::NetworkInterface& IpStack::add_interface(const std::string& name,
       node_name_ + "/" + name, address, prefix_len);
   link::NetworkInterface* raw = iface.get();
   raw->set_rx_handler(
-      [this, raw](Bytes frame) { on_frame(raw, std::move(frame)); });
+      [this, raw](PacketBuffer frame) { on_frame(raw, std::move(frame)); });
   interfaces_.push_back(InterfaceEntry{std::move(iface), mtu});
   return *raw;
 }
@@ -119,7 +119,7 @@ link::NetworkInterface* IpStack::resolve_egress(net::Ipv4Address dst,
   return find_by_subnet(route->next_hop, mtu_out);
 }
 
-void IpStack::charge_cpu(std::size_t bytes, std::function<void()> work) {
+void IpStack::charge_cpu(std::size_t bytes, sim::Scheduler::Callback work) {
   sim::Duration cost = cpu_.cost(bytes);
   if (cost.ns == 0) {
     work();
@@ -188,7 +188,9 @@ void IpStack::output(net::Datagram datagram) {
   }
 
   if (datagram.size() <= mtu) {
-    (void)egress->send(datagram.serialize());
+    // Zero-copy emission: fresh 20-byte header chained to the shared
+    // payload buffer.
+    (void)egress->send(datagram.to_frame());
     return;
   }
 
@@ -198,7 +200,10 @@ void IpStack::output(net::Datagram datagram) {
     return;
   }
   const std::size_t max_payload = ((mtu - net::Ipv4Header::kSize) / 8) * 8;
-  const Bytes& payload = datagram.payload;
+  // view() gathers a chained payload (e.g. a tunnelled inner frame) into
+  // one buffer once; each fragment is then a zero-copy slice of it.
+  const CowBytes& payload = datagram.payload;
+  (void)payload.view();
   const std::uint16_t base_offset = datagram.header.fragment_offset;
   const bool had_more = datagram.header.more_fragments;
   std::size_t offset = 0;
@@ -210,18 +215,16 @@ void IpStack::output(net::Datagram datagram) {
         static_cast<std::uint16_t>(base_offset + offset / 8);
     frag.header.more_fragments =
         (offset + chunk < payload.size()) || had_more;
-    frag.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset),
-                        payload.begin() +
-                            static_cast<std::ptrdiff_t>(offset + chunk));
+    frag.payload = payload.slice(offset, chunk);
     frag.header.total_length =
         static_cast<std::uint16_t>(frag.size());
     stats_.fragments_sent++;
-    (void)egress->send(frag.serialize());
+    (void)egress->send(frag.to_frame());
     offset += chunk;
   }
 }
 
-void IpStack::on_frame(link::NetworkInterface* interface, Bytes frame) {
+void IpStack::on_frame(link::NetworkInterface* interface, PacketBuffer frame) {
   (void)interface;
   if (crashed_) {
     stats_.crashed_drops++;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "link/cpu_model.hpp"
 #include "link/interface.hpp"
@@ -32,9 +33,11 @@ namespace hydranet::ip {
 class IpStack {
  public:
   /// Called with a reassembled, locally-addressed datagram's header and
-  /// payload for a registered protocol.
+  /// payload for a registered protocol.  The payload is copy-on-write and
+  /// borrows the received frame; handlers written against plain Bytes
+  /// still work (they pay a copy on conversion).
   using ProtocolHandler =
-      std::function<void(const net::Ipv4Header& header, Bytes payload)>;
+      std::function<void(const net::Ipv4Header& header, CowBytes payload)>;
 
   /// Invoked for every datagram in transit (not locally addressed) before
   /// normal forwarding; returning true consumes the datagram.
@@ -150,17 +153,17 @@ class IpStack {
     }
   };
   struct FragmentGroup {
-    // offset (bytes) -> payload chunk
-    std::map<std::uint32_t, Bytes> chunks;
+    // offset (bytes) -> payload chunk (shares the fragment frame's buffer)
+    std::map<std::uint32_t, CowBytes> chunks;
     std::uint32_t total_length = 0;  ///< payload length, known once MF=0 seen
     net::Ipv4Header sample_header;
     sim::TimerId expiry = sim::kInvalidTimer;
   };
 
   /// Charges the CPU and runs `work` when the virtual CPU gets to it.
-  void charge_cpu(std::size_t bytes, std::function<void()> work);
+  void charge_cpu(std::size_t bytes, sim::Scheduler::Callback work);
 
-  void on_frame(link::NetworkInterface* interface, Bytes frame);
+  void on_frame(link::NetworkInterface* interface, PacketBuffer frame);
   void process(net::Datagram datagram);
   void deliver_local(net::Datagram datagram);
   void forward(net::Datagram datagram);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "net/address.hpp"
 
@@ -14,9 +15,11 @@ namespace hydranet::link {
 class Link;
 
 /// One NIC of a node: an IPv4 address on a subnet, attached to one link.
+/// Frames are reference-counted PacketBuffers, so handing one to the link
+/// (and to its monitoring tap) never copies the bytes.
 class NetworkInterface {
  public:
-  using RxHandler = std::function<void(Bytes frame)>;
+  using RxHandler = std::function<void(PacketBuffer frame)>;
 
   NetworkInterface(std::string name, net::Ipv4Address address, int prefix_len);
 
@@ -39,10 +42,12 @@ class NetworkInterface {
   bool is_up() const { return up_; }
 
   /// Hands a serialised datagram to the attached link.
-  Status send(Bytes frame);
+  Status send(PacketBuffer frame);
+  Status send(Bytes frame) { return send(PacketBuffer(std::move(frame))); }
 
   /// Called by the link when a frame arrives at this end.
-  void handle_rx(Bytes frame);
+  void handle_rx(PacketBuffer frame);
+  void handle_rx(Bytes frame) { handle_rx(PacketBuffer(std::move(frame))); }
 
   // Counters for tests and benches.
   std::uint64_t tx_packets() const { return tx_packets_; }

@@ -5,7 +5,7 @@
 
 namespace hydranet::link {
 
-Status NetworkInterface::send(Bytes frame) {
+Status NetworkInterface::send(PacketBuffer frame) {
   if (!up_) return Errc::no_route;
   if (link_ == nullptr) return Errc::no_route;
   tx_packets_++;
@@ -27,7 +27,7 @@ bool NetworkInterface::on_subnet(net::Ipv4Address dst) const {
   return (dst.value() & mask) == (address_.value() & mask);
 }
 
-void NetworkInterface::handle_rx(Bytes frame) {
+void NetworkInterface::handle_rx(PacketBuffer frame) {
   if (!up_) return;  // a downed NIC hears nothing
   rx_packets_++;
   rx_bytes_ += frame.size();
@@ -62,7 +62,7 @@ Link::Direction& Link::direction_from(const NetworkInterface* from) {
   return from == end_a_ ? toward_b_ : toward_a_;
 }
 
-Status Link::transmit(const NetworkInterface* from, Bytes frame) {
+Status Link::transmit(const NetworkInterface* from, PacketBuffer frame) {
   if (down_) {
     stats_.down_drops++;
     return Errc::no_route;

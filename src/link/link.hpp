@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "link/interface.hpp"
@@ -42,15 +43,17 @@ class Link {
 
   /// Enqueues `frame` for transmission from interface `from` toward the
   /// other end.  Fails with would_block when the drop-tail queue is full.
-  Status transmit(const NetworkInterface* from, Bytes frame);
+  Status transmit(const NetworkInterface* from, PacketBuffer frame);
 
   /// Replaces the loss model applied to both directions.
   void set_loss_model(std::unique_ptr<LossModel> model);
 
   /// Monitoring tap: sees every frame accepted for transmission (before
   /// loss is applied), with the interface it came from.  One tap per link.
+  /// The tap borrows the frame; retaining it (pcap capture) is a refcount
+  /// bump, not a copy.
   using Tap = std::function<void(const NetworkInterface& from,
-                                 const Bytes& frame)>;
+                                 const PacketBuffer& frame)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   /// Takes the link down (failure injection); frames in flight still land.

@@ -70,7 +70,7 @@ MgmtTransport::MgmtTransport(host::Host& host, std::uint16_t port)
     return;
   }
   socket_ = socket.value();
-  socket_->set_rx_handler([this](const net::Endpoint& from, Bytes data) {
+  socket_->set_rx_handler([this](const net::Endpoint& from, CowBytes data) {
     on_datagram(from, std::move(data));
   });
 }
@@ -128,7 +128,7 @@ void MgmtTransport::acknowledge(const net::Endpoint& to,
   (void)send(to, ack);
 }
 
-void MgmtTransport::on_datagram(const net::Endpoint& from, Bytes data) {
+void MgmtTransport::on_datagram(const net::Endpoint& from, CowBytes data) {
   auto parsed = MgmtMessage::parse(data);
   if (!parsed) return;
   const MgmtMessage& message = parsed.value();

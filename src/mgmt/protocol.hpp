@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "host/host.hpp"
 #include "net/address.hpp"
@@ -99,7 +100,7 @@ class MgmtTransport {
     sim::TimerId timer = sim::kInvalidTimer;
   };
 
-  void on_datagram(const net::Endpoint& from, Bytes data);
+  void on_datagram(const net::Endpoint& from, CowBytes data);
   void retry(std::uint32_t request_id);
 
   host::Host& host_;

@@ -61,6 +61,16 @@ Bytes Datagram::serialize() const {
   return wire;
 }
 
+PacketBuffer Datagram::to_frame() const {
+  Bytes hdr;
+  hdr.reserve(Ipv4Header::kSize);
+  ByteWriter w(hdr);
+  Ipv4Header h = header;
+  h.total_length = static_cast<std::uint16_t>(size());
+  h.serialize(w);
+  return PacketBuffer::chain(std::move(hdr), payload.buffer());
+}
+
 Result<Datagram> Datagram::parse(BytesView wire) {
   ByteReader r(wire);
   auto header = Ipv4Header::parse(r);
@@ -69,7 +79,41 @@ Result<Datagram> Datagram::parse(BytesView wire) {
   if (r.remaining() < payload_len) return Errc::invalid_argument;
   Datagram d;
   d.header = header.value();
-  d.payload = r.raw(payload_len);
+  // The view does not own `wire`; this is the one place the borrowed parse
+  // path must copy (counted, so benches can see it).
+  d.payload = CowBytes::copy_of(r.view(payload_len));
+  return d;
+}
+
+Result<Datagram> Datagram::parse(const PacketBuffer& frame) {
+  // Fast path: a frame built by to_frame() is (20-byte header, payload);
+  // parse the header from the head segment and share the tail untouched.
+  if (!frame.contiguous() &&
+      frame.head_view().size() == Ipv4Header::kSize) {
+    ByteReader r(frame.head_view());
+    auto header = Ipv4Header::parse(r);
+    if (!header) return header.error();
+    std::size_t payload_len =
+        header.value().total_length - Ipv4Header::kSize;
+    const PacketBuffer* tail = frame.tail();
+    if (payload_len == tail->size()) {
+      Datagram d;
+      d.header = header.value();
+      d.payload = CowBytes(*tail);
+      return d;
+    }
+    // total_length disagrees with the chain layout (link padding or a
+    // malformed header): fall through to the contiguous path below.
+  }
+  PacketBuffer flat = frame.flattened();
+  ByteReader r(flat.view());
+  auto header = Ipv4Header::parse(r);
+  if (!header) return header.error();
+  std::size_t payload_len = header.value().total_length - Ipv4Header::kSize;
+  if (r.remaining() < payload_len) return Errc::invalid_argument;
+  Datagram d;
+  d.header = header.value();
+  d.payload = CowBytes(flat.slice(Ipv4Header::kSize, payload_len));
   return d;
 }
 

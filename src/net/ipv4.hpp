@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "net/address.hpp"
 
@@ -43,19 +44,30 @@ struct Ipv4Header {
   static Result<Ipv4Header> parse(ByteReader& r);
 };
 
-/// A full IPv4 datagram as it travels the simulated wire.
+/// A full IPv4 datagram as it travels the simulated wire.  The payload is
+/// copy-on-write: parsed datagrams borrow the frame's bytes, copies made
+/// for fan-out share one buffer, and only mutation pays for a copy.
 struct Datagram {
   Ipv4Header header;
-  Bytes payload;
+  CowBytes payload;
 
   std::size_t size() const { return Ipv4Header::kSize + payload.size(); }
 
-  /// Serialises header + payload into a contiguous wire buffer.
+  /// Serialises header + payload into a contiguous wire buffer (copies).
   Bytes serialize() const;
 
+  /// Zero-copy wire frame: a freshly serialised 20-byte header chained to
+  /// the (shared) payload buffer.
+  PacketBuffer to_frame() const;
+
   /// Parses a wire buffer into header + payload, verifying lengths and the
-  /// header checksum.
+  /// header checksum.  The payload copies out of `wire`.
   static Result<Datagram> parse(BytesView wire);
+
+  /// As above, but the payload borrows `frame`'s storage instead of
+  /// copying.  Frames built by to_frame() (header chained to payload)
+  /// parse without touching the payload bytes at all.
+  static Result<Datagram> parse(const PacketBuffer& frame);
 };
 
 /// Builds the 12-byte TCP/UDP pseudo-header checksum prefix.

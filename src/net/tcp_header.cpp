@@ -72,8 +72,9 @@ Bytes serialize_tcp(const TcpSegment& segment, Ipv4Address src,
   return wire;
 }
 
-Result<TcpSegment> parse_tcp(BytesView wire, Ipv4Address src,
+Result<TcpSegment> parse_tcp(const CowBytes& bytes, Ipv4Address src,
                              Ipv4Address dst) {
+  BytesView wire = bytes.view();
   if (wire.size() < TcpHeader::kSize || wire.size() > 0xffff) {
     return Errc::invalid_argument;
   }
@@ -135,8 +136,10 @@ Result<TcpSegment> parse_tcp(BytesView wire, Ipv4Address src,
     options_len -= len;
   }
 
-  ByteReader payload_reader(wire.subspan(header_len));
-  s.payload = payload_reader.raw(wire.size() - header_len);
+  // Borrow the payload as a slice of the caller's buffer — the common
+  // case (segment handed to the reassembly buffer or the ft-TCP stage)
+  // never copies it.
+  s.payload = bytes.slice(header_len, wire.size() - header_len);
   return s;
 }
 

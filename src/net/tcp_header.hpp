@@ -57,9 +57,12 @@ struct TcpHeader {
 };
 
 /// A TCP segment: header + payload, the unit the TCP machinery operates on.
+/// The payload is copy-on-write: parsed segments borrow the datagram's
+/// buffer, and segment copies (ft-TCP staging, retransmission queues)
+/// share it.
 struct TcpSegment {
   TcpHeader header;
-  Bytes payload;
+  CowBytes payload;
 
   /// Sequence-number length: payload bytes plus one for SYN and FIN each.
   std::uint32_t seq_length() const {
@@ -73,6 +76,8 @@ Bytes serialize_tcp(const TcpSegment& segment, Ipv4Address src,
                     Ipv4Address dst);
 
 /// Parses and checksum-verifies a TCP segment carried in an IP payload.
-Result<TcpSegment> parse_tcp(BytesView wire, Ipv4Address src, Ipv4Address dst);
+/// The returned segment's payload borrows `wire`'s storage (no copy).
+Result<TcpSegment> parse_tcp(const CowBytes& wire, Ipv4Address src,
+                             Ipv4Address dst);
 
 }  // namespace hydranet::net

@@ -2,23 +2,32 @@
 
 namespace hydranet::net {
 
-Datagram encapsulate_ipip(const Datagram& inner, Ipv4Address tunnel_src,
+Datagram encapsulate_ipip(PacketBuffer inner_wire, Ipv4Address tunnel_src,
                           Ipv4Address tunnel_dst) {
   Datagram outer;
   outer.header.protocol = IpProto::ipip;
   outer.header.src = tunnel_src;
   outer.header.dst = tunnel_dst;
-  // The tunnel must deliver the inner datagram intact; inner fragmentation
-  // state is preserved inside the encapsulated bytes.
-  outer.payload = inner.serialize();
   outer.header.total_length =
-      static_cast<std::uint16_t>(Ipv4Header::kSize + outer.payload.size());
+      static_cast<std::uint16_t>(Ipv4Header::kSize + inner_wire.size());
+  // The tunnel must deliver the inner datagram intact; inner fragmentation
+  // state is preserved inside the encapsulated bytes, which are shared,
+  // not copied.
+  outer.payload = CowBytes(std::move(inner_wire));
   return outer;
+}
+
+Datagram encapsulate_ipip(const Datagram& inner, Ipv4Address tunnel_src,
+                          Ipv4Address tunnel_dst) {
+  return encapsulate_ipip(inner.to_frame(), tunnel_src, tunnel_dst);
 }
 
 Result<Datagram> decapsulate_ipip(const Datagram& outer) {
   if (outer.header.protocol != IpProto::ipip) return Errc::protocol_error;
-  return Datagram::parse(outer.payload);
+  // The payload's backing buffer is the inner frame (a header chained to
+  // the inner payload when it came off encapsulate_ipip); parsing it
+  // shares storage instead of copying.
+  return Datagram::parse(outer.payload.buffer());
 }
 
 }  // namespace hydranet::net

@@ -4,18 +4,28 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "net/ipv4.hpp"
 
 namespace hydranet::net {
 
-/// Wraps `inner` (a complete serialised IPv4 datagram) in an outer datagram
-/// from `tunnel_src` to `tunnel_dst` with protocol = ipip.
+/// Wraps `inner_wire` (a complete serialised IPv4 datagram, possibly a
+/// chained frame) in an outer datagram from `tunnel_src` to `tunnel_dst`
+/// with protocol = ipip.  Zero-copy: the outer payload shares the inner
+/// frame's buffers, so a one-to-many fan-out serialises the inner datagram
+/// once and builds only a fresh 20-byte outer header per replica.
+Datagram encapsulate_ipip(PacketBuffer inner_wire, Ipv4Address tunnel_src,
+                          Ipv4Address tunnel_dst);
+
+/// Convenience overload: serialises `inner` first (its payload buffer is
+/// shared, only the 20-byte inner header is written).
 Datagram encapsulate_ipip(const Datagram& inner, Ipv4Address tunnel_src,
                           Ipv4Address tunnel_dst);
 
 /// Unwraps an IP-in-IP datagram; fails if `outer` is not protocol ipip or
-/// the inner datagram is malformed.
+/// the inner datagram is malformed.  The inner payload borrows the outer
+/// payload's storage.
 Result<Datagram> decapsulate_ipip(const Datagram& outer);
 
 }  // namespace hydranet::net

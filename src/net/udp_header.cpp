@@ -21,8 +21,9 @@ Bytes serialize_udp(const UdpHeader& header, BytesView payload,
   return wire;
 }
 
-Result<UdpDatagram> parse_udp(BytesView wire, Ipv4Address src,
+Result<UdpDatagram> parse_udp(const CowBytes& bytes, Ipv4Address src,
                               Ipv4Address dst) {
+  BytesView wire = bytes.view();
   ByteReader r(wire);
   if (r.remaining() < UdpHeader::kSize) return Errc::invalid_argument;
   UdpDatagram d;
@@ -40,7 +41,7 @@ Result<UdpDatagram> parse_udp(BytesView wire, Ipv4Address src,
       return Errc::invalid_argument;
     }
   }
-  d.payload = r.raw(length - UdpHeader::kSize);
+  d.payload = bytes.slice(UdpHeader::kSize, length - UdpHeader::kSize);
   return d;
 }
 

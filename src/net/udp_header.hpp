@@ -20,13 +20,15 @@ struct UdpHeader {
 Bytes serialize_udp(const UdpHeader& header, BytesView payload,
                     Ipv4Address src, Ipv4Address dst);
 
-/// A parsed UDP datagram.
+/// A parsed UDP datagram.  The payload borrows the wire buffer (CoW).
 struct UdpDatagram {
   UdpHeader header;
-  Bytes payload;
+  CowBytes payload;
 };
 
 /// Parses and checksum-verifies a UDP datagram carried in an IP payload.
-Result<UdpDatagram> parse_udp(BytesView wire, Ipv4Address src, Ipv4Address dst);
+/// The returned payload borrows `wire`'s storage (no copy).
+Result<UdpDatagram> parse_udp(const CowBytes& wire, Ipv4Address src,
+                              Ipv4Address dst);
 
 }  // namespace hydranet::net

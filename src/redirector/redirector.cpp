@@ -129,9 +129,13 @@ bool Redirector::on_transit(const net::Datagram& datagram) {
 void Redirector::tunnel_to(const net::Datagram& datagram,
                            const ServiceEntry& entry) {
   const net::Ipv4Address tunnel_src = router_.ip().primary_address();
+  // Serialise the inner datagram exactly once; every tunnelled copy shares
+  // that buffer and differs only in its own 20-byte outer header.
+  PacketBuffer inner_wire = datagram.to_frame();
+  stats_.inner_serializations++;
   auto send_copy = [&](net::Ipv4Address host_server) {
     net::Datagram outer =
-        net::encapsulate_ipip(datagram, tunnel_src, host_server);
+        net::encapsulate_ipip(inner_wire, tunnel_src, host_server);
     stats_.copies_sent++;
     stats_.tunnelled_bytes += outer.size();
     (void)router_.ip().send(std::move(outer));

@@ -41,6 +41,8 @@ class Redirector {
   struct Stats {
     std::uint64_t redirected_datagrams = 0;
     std::uint64_t copies_sent = 0;         ///< tunnelled copies (>= redirected)
+    std::uint64_t inner_serializations = 0;  ///< one per redirected datagram,
+                                             ///< independent of replica count
     std::uint64_t tunnelled_bytes = 0;     ///< outer-datagram bytes sent
     std::uint64_t fragment_cache_hits = 0;
     std::uint64_t passed_through = 0;      ///< table misses

@@ -4,12 +4,40 @@
 
 namespace hydranet::sim {
 
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoFreeSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  // Advancing the generation invalidates both the stale queue entry and
+  // any TimerId still held by callers.
+  slot.generation++;
+  slot.armed = false;
+  slot.cb = nullptr;
+  slot.next_free = free_head_;
+  free_head_ = index;
+  assert(live_ > 0);
+  live_--;
+}
+
 TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
   assert(cb);
   if (t < now_) t = now_;  // clamp: "immediately" for past deadlines
-  TimerId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
-  return id;
+  std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  slot.armed = true;
+  queue_.push(QEntry{t, next_seq_++, index, slot.generation});
+  live_++;
+  return make_id(index, slot.generation);
 }
 
 TimerId Scheduler::schedule_after(Duration d, Callback cb) {
@@ -19,22 +47,25 @@ TimerId Scheduler::schedule_after(Duration d, Callback cb) {
 
 void Scheduler::cancel(TimerId id) {
   if (id == kInvalidTimer) return;
-  // Lazy cancellation: the event stays queued but is skipped on pop.  The
-  // cancelled set is pruned as those events surface.
-  if (id < next_id_) cancelled_.insert(id);
+  std::uint32_t index = static_cast<std::uint32_t>(id >> 32) - 1;
+  std::uint32_t generation = static_cast<std::uint32_t>(id);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.generation != generation) return;  // already fired
+  release_slot(index);  // the stale queue entry is skipped on pop
 }
 
 bool Scheduler::run_next() {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    now_ = top.time;
-    Callback cb = std::move(top.cb);
+    QEntry top = queue_.top();
     queue_.pop();
+    Slot& slot = slots_[top.slot];
+    if (!slot.armed || slot.generation != top.generation) continue;
+    now_ = top.time;
+    // Move the callback out before recycling the slot: it may re-schedule
+    // (growing the pool) or cancel other timers re-entrantly.
+    Callback cb = std::move(slot.cb);
+    release_slot(top.slot);
     cb();
     return true;
   }
@@ -44,16 +75,20 @@ bool Scheduler::run_next() {
 std::size_t Scheduler::run_until(TimePoint t) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
+    const QEntry& top = queue_.top();
+    {
+      const Slot& slot = slots_[top.slot];
+      if (!slot.armed || slot.generation != top.generation) {
+        queue_.pop();
+        continue;
+      }
     }
     if (top.time > t) break;
-    now_ = top.time;
-    Callback cb = std::move(top.cb);
+    QEntry entry = top;
     queue_.pop();
+    now_ = entry.time;
+    Callback cb = std::move(slots_[entry.slot].cb);
+    release_slot(entry.slot);
     cb();
     ++executed;
   }

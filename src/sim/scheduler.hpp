@@ -3,25 +3,35 @@
 // Everything in HydraNet-FT — link transmissions, TCP retransmission timers,
 // management-daemon probes — is an event on this queue.  Events at equal
 // times execute in scheduling order (FIFO), which keeps runs deterministic.
+//
+// The hot path is allocation-free: callbacks are small-buffer-optimised
+// (InlineFunction, no per-event malloc for typical captures) and live in a
+// recycled slot pool.  The priority queue holds plain-old-data entries;
+// cancellation is an O(1) generation check on the slot (no hash-set on the
+// hot path) — a cancelled slot's generation advances, so its stale queue
+// entry is skipped when popped and the slot is recycled immediately.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace hydranet::sim {
 
 /// Handle for a scheduled event; cancel() revokes it if still pending.
+/// Encodes (slot index + 1, slot generation); 0 is never produced.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity fits the datapath's largest common capture (a
+  /// Datagram plus a couple of pointers); larger captures fall back to the
+  /// heap and are counted in inline_function_heap_allocs().
+  using Callback = InlineFunction<128>;
 
   /// Current simulated time.  Advances only when events execute.
   TimePoint now() const { return now_; }
@@ -52,27 +62,43 @@ class Scheduler {
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   /// Number of pending (uncancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFreeSlot;
+    bool armed = false;
+  };
+
+  /// POD queue entry; the callback stays in its slot until execution.
+  struct QEntry {
     TimePoint time;
     std::uint64_t seq;  // tiebreaker: FIFO among equal times
-    TimerId id;
-    // Callbacks live in a side map? No: stored here, moved out on execute.
-    mutable Callback cb;
+    std::uint32_t slot;
+    std::uint32_t generation;
 
-    bool operator>(const Event& o) const {
+    bool operator>(const QEntry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  static TimerId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<TimerId>(slot) + 1) << 32 | generation;
+  }
+
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
-  TimerId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue_;
 };
 
 }  // namespace hydranet::sim

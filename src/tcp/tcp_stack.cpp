@@ -13,10 +13,11 @@ void TcpListener::close() {
 
 TcpStack::TcpStack(ip::IpStack& ip, std::uint64_t seed)
     : ip_(ip), rng_(seed) {
-  ip_.register_protocol(net::IpProto::tcp,
-                        [this](const net::Ipv4Header& header, Bytes payload) {
-                          on_segment_datagram(header, std::move(payload));
-                        });
+  ip_.register_protocol(
+      net::IpProto::tcp,
+      [this](const net::Ipv4Header& header, CowBytes payload) {
+        on_segment_datagram(header, std::move(payload));
+      });
 }
 
 Result<TcpListener*> TcpStack::listen(net::Ipv4Address address,
@@ -172,7 +173,7 @@ void TcpStack::send_reset_for(const net::Ipv4Header& header,
 }
 
 void TcpStack::on_segment_datagram(const net::Ipv4Header& header,
-                                   Bytes payload) {
+                                   CowBytes payload) {
   auto parsed = net::parse_tcp(payload, header.src, header.dst);
   if (!parsed) return;  // checksum failure: dropped silently
   net::TcpSegment segment = std::move(parsed).value();

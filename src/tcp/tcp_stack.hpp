@@ -114,7 +114,7 @@ class TcpStack {
   void remove_listener(const net::Endpoint& endpoint);
 
  private:
-  void on_segment_datagram(const net::Ipv4Header& header, Bytes payload);
+  void on_segment_datagram(const net::Ipv4Header& header, CowBytes payload);
   TcpListener* find_listener(net::Ipv4Address address, std::uint16_t port);
   void send_reset_for(const net::Ipv4Header& header,
                       const net::TcpSegment& segment);

@@ -18,13 +18,7 @@ const char* proto_name(net::IpProto proto) {
   return "IP";
 }
 
-}  // namespace
-
-std::optional<TraceEntry> decode_frame(BytesView frame) {
-  auto parsed = net::Datagram::parse(frame);
-  if (!parsed) return std::nullopt;
-  net::Datagram datagram = std::move(parsed).value();
-
+std::optional<TraceEntry> decode_datagram(net::Datagram datagram) {
   TraceEntry entry;
   if (datagram.header.protocol == net::IpProto::ipip) {
     auto inner = net::decapsulate_ipip(datagram);
@@ -69,6 +63,20 @@ std::optional<TraceEntry> decode_frame(BytesView frame) {
   return entry;
 }
 
+}  // namespace
+
+std::optional<TraceEntry> decode_frame(BytesView frame) {
+  auto parsed = net::Datagram::parse(frame);
+  if (!parsed) return std::nullopt;
+  return decode_datagram(std::move(parsed).value());
+}
+
+std::optional<TraceEntry> decode_frame(const PacketBuffer& frame) {
+  auto parsed = net::Datagram::parse(frame);
+  if (!parsed) return std::nullopt;
+  return decode_datagram(std::move(parsed).value());
+}
+
 std::string TraceEntry::to_string() const {
   char head[160];
   std::snprintf(head, sizeof head, "%11.6f %-8s %s:%u > %s:%u %s%s%s",
@@ -99,10 +107,12 @@ bool TraceFilter::matches(const TraceEntry& entry) const {
 
 void PacketTrace::attach(link::Link& link, const std::string& label) {
   link.set_tap([this, label](const link::NetworkInterface&,
-                             const Bytes& frame) { record(label, frame); });
+                             const PacketBuffer& frame) {
+    record(label, frame);
+  });
 }
 
-void PacketTrace::record(const std::string& label, const Bytes& frame) {
+void PacketTrace::record(const std::string& label, const PacketBuffer& frame) {
   auto entry = decode_frame(frame);
   if (!entry) return;
   entry->at = scheduler_.now();
@@ -119,7 +129,7 @@ void PacketTrace::record(const std::string& label, const Bytes& frame) {
 Status PacketTrace::write_pcap(const std::string& path) const {
   bool have_frames = entries_.empty();
   for (const TraceEntry& entry : entries_) {
-    if (!entry.raw_frame.empty()) {
+    if (entry.raw_frame.size() != 0) {
       have_frames = true;
       break;
     }
@@ -145,13 +155,17 @@ Status PacketTrace::write_pcap(const std::string& path) const {
   u32(101);         // network: LINKTYPE_RAW
 
   for (const TraceEntry& entry : entries_) {
-    if (entry.raw_frame.empty()) continue;  // filtered or pre-keep_frames
+    if (entry.raw_frame.size() == 0) continue;  // filtered or pre-keep_frames
     std::int64_t ns = entry.at.ns;
     u32(static_cast<std::uint32_t>(ns / 1'000'000'000));
     u32(static_cast<std::uint32_t>((ns % 1'000'000'000) / 1'000));
     u32(static_cast<std::uint32_t>(entry.raw_frame.size()));
     u32(static_cast<std::uint32_t>(entry.raw_frame.size()));
-    std::fwrite(entry.raw_frame.data(), 1, entry.raw_frame.size(), file);
+    // Chained frames (header + shared payload) are written segment by
+    // segment; no gather copy is needed for export either.
+    entry.raw_frame.for_each_segment([&](BytesView segment) {
+      std::fwrite(segment.data(), 1, segment.size(), file);
+    });
   }
   std::fclose(file);
   return Status::success();

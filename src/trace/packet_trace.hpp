@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "link/link.hpp"
 #include "net/address.hpp"
@@ -38,8 +39,9 @@ struct TraceEntry {
   std::uint32_t ack = 0;
   std::uint16_t window = 0;
   /// The undecoded wire frame, kept only when the owning PacketTrace has
-  /// keep_frames enabled (pcap export needs the raw bytes).
-  Bytes raw_frame;
+  /// keep_frames enabled (pcap export needs the raw bytes).  Shares the
+  /// in-flight frame's buffer — keeping frames costs no copies.
+  PacketBuffer raw_frame;
 
   /// "12.345678 c-rd 10.0.1.2:40000 > 192.20.225.20:80 TCP A seq=... len=..."
   std::string to_string() const;
@@ -88,7 +90,7 @@ class PacketTrace {
   Status write_pcap(const std::string& path) const;
 
  private:
-  void record(const std::string& label, const Bytes& frame);
+  void record(const std::string& label, const PacketBuffer& frame);
 
   sim::Scheduler& scheduler_;
   std::size_t max_entries_;
@@ -101,5 +103,9 @@ class PacketTrace {
 /// Decodes one wire frame into a trace entry (no timestamp/link).
 /// Returns nullopt for frames that do not parse as IPv4.
 std::optional<TraceEntry> decode_frame(BytesView frame);
+
+/// As above, but borrowing a (possibly chained) in-flight frame directly —
+/// no gather copy.
+std::optional<TraceEntry> decode_frame(const PacketBuffer& frame);
 
 }  // namespace hydranet::trace

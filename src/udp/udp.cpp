@@ -31,7 +31,7 @@ void UdpSocket::set_rx_handler(RxHandler handler) {
   }
 }
 
-void UdpSocket::deliver(const net::Endpoint& from, Bytes data) {
+void UdpSocket::deliver(const net::Endpoint& from, CowBytes data) {
   if (!open_) return;
   if (rx_handler_) {
     rx_handler_(from, std::move(data));
@@ -51,10 +51,11 @@ void UdpSocket::close() {
 }
 
 UdpStack::UdpStack(ip::IpStack& ip) : ip_(ip) {
-  ip_.register_protocol(net::IpProto::udp,
-                        [this](const net::Ipv4Header& header, Bytes payload) {
-                          on_datagram(header, std::move(payload));
-                        });
+  ip_.register_protocol(
+      net::IpProto::udp,
+      [this](const net::Ipv4Header& header, CowBytes payload) {
+        on_datagram(header, std::move(payload));
+      });
 }
 
 Result<UdpSocket*> UdpStack::bind(net::Ipv4Address address,
@@ -104,7 +105,7 @@ Status UdpStack::send(net::Ipv4Address src, const net::Endpoint& local,
   return ip_.send(std::move(datagram));
 }
 
-void UdpStack::on_datagram(const net::Ipv4Header& header, Bytes payload) {
+void UdpStack::on_datagram(const net::Ipv4Header& header, CowBytes payload) {
   auto parsed = net::parse_udp(payload, header.src, header.dst);
   if (!parsed) return;  // bad checksum / truncated: dropped silently
   auto& datagram = parsed.value();

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/packet_buffer.hpp"
 #include "common/result.hpp"
 #include "ip/ip_stack.hpp"
 #include "net/address.hpp"
@@ -25,9 +26,10 @@ class UdpSocket {
  public:
   struct Received {
     net::Endpoint from;
-    Bytes data;
+    CowBytes data;  ///< borrows the received frame (copy-on-write)
   };
-  using RxHandler = std::function<void(const net::Endpoint& from, Bytes data)>;
+  using RxHandler =
+      std::function<void(const net::Endpoint& from, CowBytes data)>;
 
   /// Sends `data` to `dst`.  The source address is the bound address, or
   /// the node's primary address for wildcard binds.
@@ -57,7 +59,7 @@ class UdpSocket {
   UdpSocket(UdpStack& stack, net::Endpoint local)
       : stack_(&stack), local_(local) {}
 
-  void deliver(const net::Endpoint& from, Bytes data);
+  void deliver(const net::Endpoint& from, CowBytes data);
 
   UdpStack* stack_;
   net::Endpoint local_;
@@ -84,8 +86,8 @@ class UdpStack {
 
   /// Fired for datagrams to a port nobody listens on (the ICMP layer uses
   /// this to emit port-unreachable errors).
-  using UnboundHandler =
-      std::function<void(const net::Ipv4Header& header, const Bytes& payload)>;
+  using UnboundHandler = std::function<void(const net::Ipv4Header& header,
+                                            const CowBytes& payload)>;
   void set_unbound_handler(UnboundHandler handler) {
     unbound_handler_ = std::move(handler);
   }
@@ -95,7 +97,7 @@ class UdpStack {
  private:
   friend class UdpSocket;
 
-  void on_datagram(const net::Ipv4Header& header, Bytes payload);
+  void on_datagram(const net::Ipv4Header& header, CowBytes payload);
   void unbind(const net::Endpoint& endpoint);
   Status send(net::Ipv4Address src, const net::Endpoint& local,
               const net::Endpoint& dst, BytesView data);

@@ -18,8 +18,8 @@ struct LinkFixture : ::testing::Test {
 
   void wire(Link& link) {
     link.attach(a, b);
-    b.set_rx_handler([this](Bytes frame) {
-      received_at_b.push_back(std::move(frame));
+    b.set_rx_handler([this](PacketBuffer frame) {
+      received_at_b.push_back(frame.flatten_copy());
       arrival_times.push_back(scheduler.now());
     });
   }

@@ -1,0 +1,207 @@
+// PacketBuffer / CowBytes semantics: adoption, slicing, chained header
+// prepend, copy-on-write aliasing across tunnel fan-out replicas, and the
+// regression guard that the redirector serialises an inner datagram exactly
+// once regardless of replica count.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/inline_function.hpp"
+#include "common/packet_buffer.hpp"
+#include "net/tunnel.hpp"
+#include "redirector/redirector.hpp"
+#include "sim/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace hydranet {
+namespace {
+
+using testutil::ip;
+
+Bytes pattern(std::size_t n, std::uint8_t seed = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return b;
+}
+
+TEST(PacketBuffer, AdoptsBytesWithoutCopying) {
+  reset_datapath_counters();
+  Bytes data = pattern(64);
+  const std::uint8_t* raw = data.data();
+  PacketBuffer buffer(std::move(data));
+  EXPECT_EQ(buffer.size(), 64u);
+  EXPECT_TRUE(buffer.contiguous());
+  EXPECT_EQ(buffer.view().data(), raw);  // same allocation, just adopted
+  EXPECT_EQ(datapath_counters().copies, 0u);
+
+  PacketBuffer copied = PacketBuffer::copy_of(buffer.view());
+  EXPECT_EQ(datapath_counters().copies, 1u);
+  EXPECT_EQ(datapath_counters().copied_bytes, 64u);
+  EXPECT_FALSE(copied.shares_storage_with(buffer));
+}
+
+TEST(PacketBuffer, SliceSharesStorageAndOutlivesParent) {
+  PacketBuffer slice;
+  const std::uint8_t* raw = nullptr;
+  {
+    PacketBuffer whole(pattern(100));
+    raw = whole.view().data();
+    slice = whole.slice(40, 20);
+    EXPECT_TRUE(slice.shares_storage_with(whole));
+    EXPECT_EQ(whole.storage_use_count(), 2);
+  }
+  // The parent is gone; the slice keeps the backing allocation alive.
+  ASSERT_EQ(slice.size(), 20u);
+  EXPECT_EQ(slice.view().data(), raw + 40);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(slice.view()[i], static_cast<std::uint8_t>(40 + i));
+  }
+}
+
+TEST(PacketBuffer, ChainPrependsHeaderWithoutCopyingPayload) {
+  reset_datapath_counters();
+  PacketBuffer payload(pattern(50, 100));
+  PacketBuffer frame = PacketBuffer::chain(pattern(20), payload);
+  EXPECT_EQ(frame.size(), 70u);
+  EXPECT_FALSE(frame.contiguous());
+  EXPECT_EQ(datapath_counters().copies, 0u);
+
+  std::vector<std::size_t> segment_sizes;
+  Bytes gathered;
+  frame.for_each_segment([&](BytesView segment) {
+    segment_sizes.push_back(segment.size());
+    gathered.insert(gathered.end(), segment.begin(), segment.end());
+  });
+  EXPECT_EQ(segment_sizes, (std::vector<std::size_t>{20, 50}));
+
+  Bytes flat = frame.flatten_copy();
+  EXPECT_EQ(flat, gathered);
+  EXPECT_EQ(flat.size(), 70u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(flat[i], i);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(flat[20 + i], 100 + i);
+}
+
+TEST(CowBytes, MutationUnsharesWithoutTouchingSiblings) {
+  reset_datapath_counters();
+  CowBytes a = pattern(32);
+  CowBytes b = a;
+  ASSERT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(datapath_counters().cow_breaks, 0u);
+
+  b[0] = 0xee;  // non-const access: copy-on-write
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(datapath_counters().cow_breaks, 1u);
+  EXPECT_EQ(std::as_const(a)[0], 0x00);
+  EXPECT_EQ(std::as_const(b)[0], 0xee);
+  EXPECT_EQ(std::as_const(b)[1], 0x01);  // rest of the copy is intact
+}
+
+TEST(Tunnel, FanOutSharesOneInnerFrameAcrossReplicas) {
+  net::Datagram inner;
+  inner.header.protocol = net::IpProto::udp;
+  inner.header.src = ip(10, 0, 1, 2);
+  inner.header.dst = ip(192, 20, 225, 20);
+  inner.payload = pattern(1000);
+
+  PacketBuffer wire = inner.to_frame();
+  reset_datapath_counters();
+  net::Datagram o1 = net::encapsulate_ipip(wire, ip(10, 0, 1, 1), ip(10, 0, 2, 2));
+  net::Datagram o2 = net::encapsulate_ipip(wire, ip(10, 0, 1, 1), ip(10, 0, 3, 2));
+  net::Datagram o3 = net::encapsulate_ipip(wire, ip(10, 0, 1, 1), ip(10, 0, 4, 2));
+
+  // Building three tunnel copies moved zero payload bytes.
+  EXPECT_EQ(datapath_counters().copies, 0u);
+  EXPECT_EQ(datapath_counters().copied_bytes, 0u);
+  EXPECT_TRUE(o1.payload.buffer().shares_storage_with(wire));
+  EXPECT_TRUE(o2.payload.buffer().shares_storage_with(wire));
+  EXPECT_TRUE(o3.payload.buffer().shares_storage_with(wire));
+
+  // Corrupting one replica's bytes must not leak into its siblings or the
+  // shared inner frame (copy-on-write).
+  o1.payload.mutable_data()[0] ^= 0xff;
+  EXPECT_FALSE(o1.payload.buffer().shares_storage_with(wire));
+  EXPECT_EQ(std::as_const(o2.payload)[0], 0x45);  // inner IPv4 header intact
+  EXPECT_EQ(wire.head_view()[0], 0x45);
+
+  // The untouched replicas still decapsulate to the original datagram.
+  auto decapped = net::decapsulate_ipip(o2);
+  ASSERT_TRUE(decapped.ok());
+  EXPECT_EQ(decapped.value().header.dst, inner.header.dst);
+  EXPECT_EQ(decapped.value().payload, inner.payload);
+}
+
+TEST(RedirectorFanOut, SerialisesInnerDatagramExactlyOnce) {
+  host::Network net{77};
+  host::Host& client = net.add_host("client");
+  host::Host& rd = net.add_host("rd");
+  host::Host& s1 = net.add_host("s1");
+  host::Host& s2 = net.add_host("s2");
+  host::Host& s3 = net.add_host("s3");
+  net.connect(client, ip(10, 0, 1, 2), rd, ip(10, 0, 1, 1), 24);
+  net.connect(rd, ip(10, 0, 2, 1), s1, ip(10, 0, 2, 2), 24);
+  net.connect(rd, ip(10, 0, 3, 1), s2, ip(10, 0, 3, 2), 24);
+  net.connect(rd, ip(10, 0, 4, 1), s3, ip(10, 0, 4, 2), 24);
+  client.ip().add_default_route(ip(10, 0, 1, 1), nullptr);
+  s1.ip().add_default_route(ip(10, 0, 2, 1), nullptr);
+  s2.ip().add_default_route(ip(10, 0, 3, 1), nullptr);
+  s3.ip().add_default_route(ip(10, 0, 4, 1), nullptr);
+
+  redirector::Redirector redirector{rd};
+  net::Endpoint service{ip(192, 20, 225, 20), 80};
+  rd.ip().add_route(service.address, 32, ip(10, 0, 2, 2), nullptr);
+  redirector.install_service(service, redirector::ServiceMode::fault_tolerant,
+                             ip(10, 0, 2, 2));
+  ASSERT_TRUE(redirector.add_backup(service, ip(10, 0, 3, 2)).ok());
+  ASSERT_TRUE(redirector.add_backup(service, ip(10, 0, 4, 2)).ok());
+
+  std::vector<udp::UdpSocket*> sinks;
+  for (host::Host* replica : {&s1, &s2, &s3}) {
+    replica->v_host(service.address);
+    auto sink = replica->udp().bind(service.address, 80);
+    ASSERT_TRUE(sink.ok());
+    sinks.push_back(sink.value());
+  }
+
+  Bytes payload = pattern(512);
+  auto socket = client.udp().bind(net::Ipv4Address(), 0);
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(socket.value()->send_to(service, payload).ok());
+  net.run();
+
+  // One redirected datagram, three tunnelled copies, ONE serialisation of
+  // the inner datagram — independent of the replica count.
+  EXPECT_EQ(redirector.stats().redirected_datagrams, 1u);
+  EXPECT_EQ(redirector.stats().copies_sent, 3u);
+  EXPECT_EQ(redirector.stats().inner_serializations, 1u);
+  for (udp::UdpSocket* sink : sinks) {
+    auto got = sink->recv();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().data, payload);
+  }
+}
+
+TEST(InlineFunction, SmallCallbacksNeverTouchTheHeap) {
+  std::uint64_t before = inline_function_heap_allocs();
+  sim::Scheduler scheduler;
+  int hits = 0;
+  std::array<void*, 8> medium{};  // 64 bytes: typical datapath capture
+  scheduler.schedule_after(sim::microseconds(1), [&hits] { hits++; });
+  scheduler.schedule_after(sim::microseconds(2), [&hits, medium] {
+    (void)medium;
+    hits++;
+  });
+  scheduler.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(inline_function_heap_allocs(), before);
+
+  // Outsized captures fall back to the heap — and are counted.
+  std::array<std::uint8_t, 256> big{};
+  InlineFunction<128> fallback([big] { (void)big; });
+  fallback();
+  EXPECT_EQ(inline_function_heap_allocs(), before + 1);
+}
+
+}  // namespace
+}  // namespace hydranet
