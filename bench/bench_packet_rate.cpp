@@ -1,7 +1,9 @@
-// Sustained packet-rate scenarios for the zero-copy datapath: how many
-// simulated packets per second of wall-clock time the simulator pushes
-// through (a) a plain one-hop path, (b) a scaled redirect, and (c) a
-// fault-tolerant fan-out to several backups.
+// Sustained packet-rate scenarios for the hot datapath: how many simulated
+// packets per second of wall-clock time the simulator pushes through (a) a
+// plain one-hop path, (b) a scaled redirect, (c) a fault-tolerant fan-out
+// to several backups, and (d) TCP bulk transfers (plain and ft-TCP chain)
+// that exercise the header-prediction fast path and the timing-wheel
+// scheduler.
 //
 // Unlike the google-benchmark binaries this is a plain scenario runner so
 // it can emit machine-readable results:
@@ -17,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "apps/ttcp.hpp"
 #include "common/inline_function.hpp"
 #include "common/packet_buffer.hpp"
 #include "host/network.hpp"
 #include "redirector/redirector.hpp"
+#include "testbed/testbed.hpp"
 
 namespace {
 
@@ -48,6 +52,19 @@ struct ScenarioResult {
   /// copied_bytes the pre-zero-copy datapath would have spent duplicating
   /// the inner frame into every tunnel copy (inner wire size x copies).
   std::uint64_t naive_fanout_copy_bytes = 0;
+  // Timing-wheel telemetry (deltas over the scenario).
+  std::uint64_t wheel_inserts = 0;
+  std::uint64_t wheel_cascades = 0;
+  // TCP fast-path telemetry (zero for the UDP scenarios).
+  std::uint64_t fastpath_hits = 0;
+  std::uint64_t fastpath_misses = 0;
+  std::uint64_t gate_cached_checks = 0;
+
+  double fastpath_hit_rate() const {
+    std::uint64_t total = fastpath_hits + fastpath_misses;
+    return total == 0 ? 0 : static_cast<double>(fastpath_hits) /
+                                static_cast<double>(total);
+  }
 };
 
 /// Streams `packets` UDP datagrams from a client through a redirector to a
@@ -117,6 +134,8 @@ ScenarioResult run_scenario(const std::string& name, int backups,
 
   reset_datapath_counters();
   const std::uint64_t heap_before = inline_function_heap_allocs();
+  const std::uint64_t inserts_before = net.scheduler().wheel_inserts();
+  const std::uint64_t cascades_before = net.scheduler().wheel_cascades();
   const auto wall_start = std::chrono::steady_clock::now();
   const sim::TimePoint sim_start = net.now();
   for (std::size_t i = 0; i < packets; ++i) {
@@ -139,6 +158,8 @@ ScenarioResult run_scenario(const std::string& name, int backups,
   result.flattens = dp.flattens;
   result.scheduler_heap_fallbacks =
       inline_function_heap_allocs() - heap_before;
+  result.wheel_inserts = net.scheduler().wheel_inserts() - inserts_before;
+  result.wheel_cascades = net.scheduler().wheel_cascades() - cascades_before;
   if (redirector != nullptr) {
     result.redirected = redirector->stats().redirected_datagrams;
     result.copies_sent = redirector->stats().copies_sent;
@@ -150,6 +171,78 @@ ScenarioResult run_scenario(const std::string& name, int backups,
   }
   if (delivered == 0) std::fprintf(stderr, "warning: nothing delivered\n");
   delete redirector;
+  return result;
+}
+
+/// Streams `total_bytes` over TCP in 1024-byte writes — plain one-hop for
+/// backups < 0, an ft-TCP chain through the redirector otherwise — and
+/// counts wire segments per wall second.  This is the workload the header
+/// prediction fast path and the ftcp gate cache are built for.
+ScenarioResult run_tcp_scenario(const std::string& name, int backups,
+                                std::size_t total_bytes) {
+  ScenarioResult result;
+  result.name = name;
+  result.payload_bytes = 1024;
+
+  testbed::TestbedConfig config;
+  config.setup =
+      backups < 0 ? testbed::Setup::clean : testbed::Setup::primary_backup;
+  config.backups = backups < 0 ? 1 : backups;
+  result.replicas = backups < 0 ? 0 : backups + 1;
+  testbed::Testbed bed(config);
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = total_bytes;
+  tx.write_size = 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+
+  reset_datapath_counters();
+  const std::uint64_t heap_before = inline_function_heap_allocs();
+  const std::uint64_t inserts_before = bed.net().scheduler().wheel_inserts();
+  const std::uint64_t cascades_before = bed.net().scheduler().wheel_cascades();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::TimePoint sim_start = bed.net().now();
+
+  (void)transmitter.start();
+  while (!transmitter.report().finished && !transmitter.report().failed &&
+         (bed.net().now() - sim_start) < sim::seconds(600)) {
+    bed.net().run_for(sim::milliseconds(500));
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.sim_seconds = (bed.net().now() - sim_start).seconds();
+
+  stats::Registry& registry = bed.stats();
+  // "Packets" here means wire segments: everything any host put on a link.
+  result.packets = static_cast<std::size_t>(registry.total("tcp.segments_out"));
+  result.packets_per_wall_second =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.packets) / result.wall_seconds
+          : 0;
+  result.fastpath_hits = registry.total("tcp.fastpath.hits");
+  result.fastpath_misses = registry.total("tcp.fastpath.misses");
+  result.gate_cached_checks = registry.total("ftcp.gate.cached_checks");
+  const DatapathCounters& dp = datapath_counters();
+  result.copies = dp.copies;
+  result.copied_bytes = dp.copied_bytes;
+  result.allocations = dp.allocations;
+  result.cow_breaks = dp.cow_breaks;
+  result.flattens = dp.flattens;
+  result.scheduler_heap_fallbacks = inline_function_heap_allocs() - heap_before;
+  result.wheel_inserts = bed.net().scheduler().wheel_inserts() - inserts_before;
+  result.wheel_cascades =
+      bed.net().scheduler().wheel_cascades() - cascades_before;
+  if (!transmitter.report().finished) {
+    std::fprintf(stderr, "warning: %s did not finish\n", name.c_str());
+  }
   return result;
 }
 
@@ -188,6 +281,22 @@ void write_json(const std::vector<ScenarioResult>& results,
     std::fprintf(f, "        \"scheduler_heap_fallbacks\": %llu\n",
                  static_cast<unsigned long long>(r.scheduler_heap_fallbacks));
     std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"scheduler\": {\n");
+    std::fprintf(f, "        \"wheel_inserts\": %llu,\n",
+                 static_cast<unsigned long long>(r.wheel_inserts));
+    std::fprintf(f, "        \"wheel_cascades\": %llu\n",
+                 static_cast<unsigned long long>(r.wheel_cascades));
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"tcp\": {\n");
+    std::fprintf(f, "        \"fastpath_hits\": %llu,\n",
+                 static_cast<unsigned long long>(r.fastpath_hits));
+    std::fprintf(f, "        \"fastpath_misses\": %llu,\n",
+                 static_cast<unsigned long long>(r.fastpath_misses));
+    std::fprintf(f, "        \"fastpath_hit_rate\": %.4f,\n",
+                 r.fastpath_hit_rate());
+    std::fprintf(f, "        \"gate_cached_checks\": %llu\n",
+                 static_cast<unsigned long long>(r.gate_cached_checks));
+    std::fprintf(f, "      },\n");
     std::fprintf(f, "      \"redirector\": {\n");
     std::fprintf(f, "        \"redirected_datagrams\": %llu,\n",
                  static_cast<unsigned long long>(r.redirected));
@@ -225,18 +334,27 @@ int main(int argc, char** argv) {
   results.push_back(run_scenario("one_hop_udp", -1, packets, 1000));
   results.push_back(run_scenario("scaled_redirect", 0, packets, 1000));
   results.push_back(run_scenario("ft_fanout_3_backups", 3, packets, 1000));
+  // TCP scenarios scale with --packets too: ~one 1024-byte write each.
+  results.push_back(run_tcp_scenario("tcp_bulk_one_hop", -1, packets * 1024));
+  results.push_back(
+      run_tcp_scenario("tcp_ft_chain_1_backup", 1, packets * 1024));
 
   for (const ScenarioResult& r : results) {
     std::printf(
         "%-22s replicas=%d packets=%zu wall=%.3fs rate=%.0f pkt/s "
         "copied=%lluB (naive fan-out would copy %lluB) "
-        "inner_serializations=%llu sched_heap=%llu\n",
+        "inner_serializations=%llu sched_heap=%llu "
+        "wheel=%llu/%llu fastpath=%.1f%% gate_cached=%llu\n",
         r.name.c_str(), r.replicas, r.packets, r.wall_seconds,
         r.packets_per_wall_second,
         static_cast<unsigned long long>(r.copied_bytes),
         static_cast<unsigned long long>(r.naive_fanout_copy_bytes),
         static_cast<unsigned long long>(r.inner_serializations),
-        static_cast<unsigned long long>(r.scheduler_heap_fallbacks));
+        static_cast<unsigned long long>(r.scheduler_heap_fallbacks),
+        static_cast<unsigned long long>(r.wheel_inserts),
+        static_cast<unsigned long long>(r.wheel_cascades),
+        100.0 * r.fastpath_hit_rate(),
+        static_cast<unsigned long long>(r.gate_cached_checks));
   }
   if (!json_path.empty()) write_json(results, json_path);
   return 0;

@@ -167,6 +167,40 @@ std::uint32_t ReplicatedService::transmit_limit(
   return limit;
 }
 
+bool ReplicatedService::gate_marks(const tcp::TcpConnection& connection,
+                                   tcp::GateMarks& out) {
+  // Mirror of deposit_limit()/transmit_limit() without the stall-tracking
+  // side effects: the marks the gates would clamp to right now.  The
+  // snapshot stays correct until the next successor report or
+  // reconfiguration, each of which invalidates the connection's cache
+  // (on_gate_update / set_hooks).
+  out.cached_checks = &gate_stats_.cached_checks;
+  if (!successor_) {  // last in the chain: gates never bind
+    out.deposit_unbounded = true;
+    out.transmit_unbounded = true;
+    return true;
+  }
+  auto it = connections_.find(connection.key());
+  if (it == connections_.end() || !it->second.has_info) {
+    // Successor state unknown: hold at the current deposited/sent extents.
+    out.deposit_unbounded = false;
+    out.transmit_unbounded = false;
+    out.deposit_mark = connection.rcv_nxt_wire();
+    out.transmit_mark = connection.snd_nxt_wire();
+    return true;
+  }
+  if (it->second.passthrough) {
+    out.deposit_unbounded = true;
+    out.transmit_unbounded = true;
+    return true;
+  }
+  out.deposit_unbounded = false;
+  out.transmit_unbounded = false;
+  out.deposit_mark = it->second.succ_rcv_nxt;
+  out.transmit_mark = it->second.succ_snd_nxt;
+  return true;
+}
+
 void ReplicatedService::track_gate(
     std::optional<sim::TimePoint>& blocked_since, std::uint64_t& stalls,
     stats::Histogram& stall_ms, bool binding) {
@@ -232,6 +266,10 @@ void ReplicatedService::raise_failure_signal(tcp::TcpConnection& connection,
       (!state.has_info || connection.undeposited_in_order() > 0 ||
        net::seq::lt(transmit_limit(connection, connection.snd_nxt_wire() + 1),
                     connection.snd_nxt_wire() + 1));
+  // That transmit_limit() probe may have opened a stall interval behind
+  // the connection's cached gate snapshot; force the next check back onto
+  // the authoritative path so the interval closes at the right time.
+  connection.invalidate_gate_cache();
   HLOG(warn, kLog) << host_.name() << " failure signal on "
                    << signal.connection.to_string()
                    << (signal.blocked_on_successor ? " (blocked on successor)"

@@ -56,6 +56,8 @@ void Host::publish_metrics(stats::Registry& registry) const {
                        tcp.duplicate_segments_seen);
   registry.set_counter(name_, "tcp.zero_window_probes", tcp.zero_window_probes);
   registry.set_counter(name_, "tcp.sack_retransmits", tcp.sack_retransmits);
+  registry.set_counter(name_, "tcp.fastpath.hits", tcp.fastpath_hits);
+  registry.set_counter(name_, "tcp.fastpath.misses", tcp.fastpath_misses);
   registry.set_histogram(name_, "tcp.cwnd_bytes", tcp.cwnd_bytes);
 }
 
@@ -124,6 +126,10 @@ void Network::publish_metrics() {
   metrics_.set_counter("datapath", "datapath.flattens", dp.flattens);
   metrics_.set_counter("scheduler", "scheduler.alloc_fallbacks",
                        inline_function_heap_allocs());
+  metrics_.set_counter("scheduler", "scheduler.wheel.inserts",
+                       scheduler_.wheel_inserts());
+  metrics_.set_counter("scheduler", "scheduler.wheel.cascades",
+                       scheduler_.wheel_cascades());
   for (const auto& link : links_) {
     const link::Link::Stats& s = link->stats();
     const std::string& node = link->label();

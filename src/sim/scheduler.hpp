@@ -4,16 +4,45 @@
 // management-daemon probes — is an event on this queue.  Events at equal
 // times execute in scheduling order (FIFO), which keeps runs deterministic.
 //
-// The hot path is allocation-free: callbacks are small-buffer-optimised
-// (InlineFunction, no per-event malloc for typical captures) and live in a
-// recycled slot pool.  The priority queue holds plain-old-data entries;
-// cancellation is an O(1) generation check on the slot (no hash-set on the
-// hot path) — a cancelled slot's generation advances, so its stale queue
-// entry is skipped when popped and the slot is recycled immediately.
+// The pending set is a hierarchical timing wheel (11 levels x 64 slots of
+// 6 bits each, covering bit 62 — the full non-negative int64 nanosecond
+// range).  schedule() and cancel() are O(1): an event lands in the bucket
+// addressed by the highest 6-bit block in which its deadline differs from
+// now, and cancellation is a generation bump on the event's slot — the
+// stale bucket entry is dropped the next time its bucket is drained or
+// cascaded.  This matters because the dominant workload is
+// schedule-then-cancel (link serialisation timers, RTO timers cancelled by
+// the next ACK): a binary heap pays O(log n) twice per such event, the
+// wheel pays two integer writes.  When the clock crosses a bucket boundary
+// the bucket's surviving entries cascade to their exact lower level; an
+// entry cascades at most 10 times, and only events that outlive the
+// staging buffer (below) ever enter a bucket at all, so the whole wheel
+// stays a cache-friendly 22 KiB.  Slot occupancy is a bitmap per level
+// plus a level-occupancy mask, so locating the next occupied bucket is a
+// handful of bit-scans — and free when the wheel is empty.
+//
+// Determinism is preserved exactly: level-0 buckets drain in scheduling
+// order (seq), and on candidate-time ties a higher-level bucket always
+// cascades before a same-time level-0 event executes, so an event scheduled
+// earlier can never be overtaken by one scheduled later at the same tick.
+//
+// A small staging buffer front-ends the wheel: new events park in a
+// 64-entry contiguous vector and only flush into their wheel buckets when
+// it fills.  Most simulator events are short-lived — a link serialisation
+// timer fires (or an RTO is cancelled) long before 64 more events are
+// scheduled — so the common case executes straight out of one or two
+// cache lines and never touches wheel memory.  Ordering is unaffected:
+// every wheel entry was scheduled before every staging entry (flush moves
+// the whole buffer at once), so wheel seqs are strictly lower and
+// same-time ties resolve wheel-first, which is exactly global FIFO.
+//
+// The hot path is allocation-free in steady state: callbacks are
+// small-buffer-optimised (InlineFunction, no per-event malloc for typical
+// captures) and live in a recycled slot pool; bucket vectors retain their
+// capacity across drains.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/inline_function.hpp"
@@ -32,6 +61,8 @@ class Scheduler {
   /// Datagram plus a couple of pointers); larger captures fall back to the
   /// heap and are counted in inline_function_heap_allocs().
   using Callback = InlineFunction<128>;
+
+  Scheduler();
 
   /// Current simulated time.  Advances only when events execute.
   TimePoint now() const { return now_; }
@@ -64,8 +95,25 @@ class Scheduler {
   /// Number of pending (uncancelled) events.
   std::size_t pending() const { return live_; }
 
+  /// Timing-wheel telemetry.  `wheel_inserts` counts every bucket
+  /// placement (staging flushes plus cascade re-inserts); events that
+  /// fire or are cancelled while still in the staging buffer never touch
+  /// a bucket and are not counted.  `wheel_cascades` counts entries moved
+  /// down a level when the clock crossed their bucket boundary.  inserts
+  /// far below the number of scheduled events means most events lived and
+  /// died in the staging buffer — the pattern the design is built for.
+  std::uint64_t wheel_inserts() const { return wheel_inserts_; }
+  std::uint64_t wheel_cascades() const { return wheel_cascades_; }
+
  private:
   static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kWheelSlots = 1 << kLevelBits;  // 64 slots per level
+  static constexpr std::uint64_t kSlotMask = kWheelSlots - 1;
+  /// 11 levels of 6 bits cover bit 62 — any non-negative int64 deadline.
+  static constexpr int kLevels = 11;
+  static constexpr int kSlotWords = (kWheelSlots + 63) / 64;
+  static constexpr std::size_t kStagingCap = 64;
 
   struct Slot {
     Callback cb;
@@ -74,17 +122,43 @@ class Scheduler {
     bool armed = false;
   };
 
-  /// POD queue entry; the callback stays in its slot until execution.
+  /// POD bucket entry; the callback stays in its slot until execution.
   struct QEntry {
     TimePoint time;
     std::uint64_t seq;  // tiebreaker: FIFO among equal times
     std::uint32_t slot;
     std::uint32_t generation;
+  };
 
-    bool operator>(const QEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  /// One wheel bucket.  `drained` marks the consumed prefix of `entries`
+  /// so draining never erases from the front; the vector keeps its
+  /// capacity when reset.  `unsorted` is set when a cascade appends an
+  /// entry out of seq order (level 0 only cares); the bucket is re-sorted
+  /// by seq once, just before it drains.
+  struct Bucket {
+    std::vector<QEntry> entries;
+    std::uint32_t drained = 0;
+    bool unsorted = false;
+  };
+
+  /// Occupancy bitmap for one level: bit s of words[s / 64] is set when
+  /// bucket s is non-empty; bit w of `summary` is set when words[w] is
+  /// non-zero.  The two-tier shape keeps find_first_occupied O(1) for any
+  /// slot count (with 64 slots per level it degenerates to a single word).
+  struct LevelOccupancy {
+    std::uint64_t summary = 0;
+    std::uint64_t words[kSlotWords] = {};
+  };
+
+  /// The next event source the clock must visit: a staging-buffer entry
+  /// (staging_index >= 0), a level-0 bucket whose events are due at
+  /// `time`, or a higher-level bucket whose boundary is crossed at `time`
+  /// and must cascade.  level < 0 means nothing pending.
+  struct NextDue {
+    std::int64_t time = 0;
+    int level = -1;
+    std::uint32_t slot = 0;
+    int staging_index = -1;
   };
 
   std::uint32_t acquire_slot();
@@ -93,12 +167,49 @@ class Scheduler {
     return (static_cast<TimerId>(slot) + 1) << 32 | generation;
   }
 
+  /// Moves live staging entries into their wheel buckets; drops stale
+  /// (cancelled) ones.
+  void flush_staging();
+  /// Executes the staging entry at `index`, advancing the clock.
+  void execute_staging(std::size_t index);
+
+  Bucket& bucket(int level, std::uint32_t slot_index) {
+    return wheel_[static_cast<std::size_t>(level) * kWheelSlots + slot_index];
+  }
+  int level_for(std::uint64_t t) const;
+  void wheel_insert(const QEntry& entry);
+  void cascade(int level, std::uint32_t slot_index);
+  void reset_bucket(int level, std::uint32_t slot_index);
+  /// First occupied slot of `level` at or after `pos`, or -1.
+  int find_first_occupied(int level, std::uint32_t pos) const;
+  /// Non-const: lazily pops stale entries off the staging buffer's head.
+  NextDue find_next_due();
+  /// Drains due level-0 bucket `slot_index`, executing live entries in seq
+  /// order.  Stops after one execution if `single_step` (run_next
+  /// semantics).  Returns events executed.
+  std::size_t drain_due_bucket(std::uint32_t slot_index, bool single_step);
+
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFreeSlot;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue_;
+  /// kLevels x kWheelSlots buckets, flattened row-major by level.
+  /// Allocated lazily on the first staging overflow — simulations whose
+  /// pending set never exceeds the staging buffer pay nothing for it.
+  std::vector<Bucket> wheel_;
+  LevelOccupancy occupied_[kLevels];
+  /// Bit L set when level L has any occupied bucket; when the whole mask
+  /// is zero (events living and dying in staging) find_next_due skips the
+  /// wheel entirely.
+  std::uint32_t level_mask_ = 0;
+  /// Not-yet-bucketed recent schedules, sorted by (time, seq); entries
+  /// before staging_head_ were consumed and await the next flush's clear.
+  /// May contain stale (cancelled) entries, dropped lazily.
+  std::vector<QEntry> staging_;
+  std::size_t staging_head_ = 0;
+  std::uint64_t wheel_inserts_ = 0;
+  std::uint64_t wheel_cascades_ = 0;
 };
 
 }  // namespace hydranet::sim

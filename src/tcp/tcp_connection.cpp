@@ -25,8 +25,17 @@ void TcpConnection::Stats::merge(const Stats& other) {
   dup_acks += other.dup_acks;
   zero_window_probes += other.zero_window_probes;
   sack_retransmits += other.sack_retransmits;
+  fastpath_hits += other.fastpath_hits;
+  fastpath_misses += other.fastpath_misses;
   cwnd_bytes.merge(other.cwnd_bytes);
 }
+
+namespace {
+bool g_fastpath_enabled = true;
+}
+
+void set_fastpath_enabled(bool enabled) { g_fastpath_enabled = enabled; }
+bool fastpath_enabled() { return g_fastpath_enabled; }
 
 const char* to_string(TcpState state) {
   switch (state) {
@@ -299,7 +308,123 @@ void TcpConnection::on_segment(const net::TcpSegment& segment) {
     process_syn_sent(segment);
     return;
   }
+  if (g_fastpath_enabled) {
+    if (try_fast_path(segment)) {
+      stats_.fastpath_hits++;
+      return;
+    }
+    stats_.fastpath_misses++;
+  }
   process_general(segment);
+}
+
+bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
+  const net::TcpHeader& h = segment.header;
+  // Entry conditions (header prediction): steady-state ESTABLISHED, a
+  // plain ACK(+PSH) at exactly the expected SEQ, no SACK traffic, no FIN
+  // on either stream, no retransmission state in play.
+  if (state_ != TcpState::established) return false;
+  if (!h.ack_flag || h.syn || h.fin || h.rst) return false;
+  if (!h.sack_blocks.empty()) return false;
+  if (fin_received_ || fin_queued_) return false;
+  if (!scoreboard_.empty()) return false;
+  if (seq_to_off_rcv(h.seq) != rcv_nxt_) return false;
+  if (snd_wnd_ == 0) return false;  // possible persist-mode exit: full path
+  const std::uint64_t ack_off = seq_to_off_snd(h.ack);
+  if (ack_off > snd_max_ || ack_off < snd_una_) return false;
+  const std::size_t len = segment.payload.size();
+  if (len == 0 && ack_off == snd_una_) return false;  // dup-ACK heuristics
+  if (len > 0) {
+    // In-order data must land entirely inside the granted window, with no
+    // out-of-order islands staged (so the deposit is a straight append).
+    if (!reassembly_.empty()) return false;
+    if (rcv_nxt_ + len > acceptance_window_end()) return false;
+    if (hooks_ != nullptr) {
+      // ft-TCP deposit gate: a single integer compare against the cached
+      // successor high-water mark.  Anything not provably open falls back
+      // to the authoritative hook (which tracks stall intervals).
+      if (!deposit_cache_valid_) return false;
+      if (!gate_marks_.deposit_unbounded &&
+          seq_to_off_rcv(gate_marks_.deposit_mark) < rcv_nxt_ + len) {
+        return false;
+      }
+      if (gate_marks_.cached_checks) ++*gate_marks_.cached_checks;
+    }
+  }
+
+  // Predicted: replicate the full path's effects for this segment shape.
+  const std::uint64_t seq_off = rcv_nxt_;
+
+  // Window update (RFC 793 SND.WL1/WL2 rule), as in process_ack().
+  if (snd_wl1_ < seq_off || (snd_wl1_ == seq_off && snd_wl2_ <= ack_off)) {
+    snd_wnd_ = h.window;
+    snd_wl1_ = seq_off;
+    snd_wl2_ = ack_off;
+  }
+
+  if (ack_off > snd_una_) {
+    // Cumulative ACK advance (the pure-ACK prediction, also piggybacked).
+    const std::size_t newly_acked = ack_off - snd_una_;
+    while (!send_data_.empty() && send_data_base_ < ack_off) {
+      std::size_t drop = std::min<std::uint64_t>(ack_off - send_data_base_,
+                                                 send_data_.size());
+      send_data_.erase(send_data_.begin(),
+                       send_data_.begin() + static_cast<std::ptrdiff_t>(drop));
+      send_data_base_ += drop;
+    }
+    snd_una_ = ack_off;
+    dup_acks_ = 0;
+    sack_hole_cursor_ = snd_una_;
+    if (rtt_sampling_ && ack_off > rtt_sample_off_) {
+      rtt_.sample(scheduler_.now() - rtt_sample_sent_at_);
+      rtt_sampling_ = false;
+    }
+    rto_backoff_ = 0;
+    consecutive_timeouts_ = 0;
+    std::size_t mss = effective_mss();
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min(newly_acked, mss);  // slow start
+    } else {
+      cwnd_ += std::max<std::size_t>(1, mss * mss / cwnd_);  // avoidance
+    }
+    stats_.cwnd_bytes.observe(static_cast<double>(cwnd_));
+    if (snd_una_ == snd_max_) {
+      cancel_rto();
+    } else {
+      arm_rto();
+    }
+    notify_writable();
+  }
+
+  if (len > 0) {
+    // Straight-line deposit: what insert-then-deposit_in_order() would do
+    // with an empty reassembly buffer and an open (or absent) gate.
+    readable_.insert(readable_.end(), segment.payload.begin(),
+                     segment.payload.end());
+    rcv_nxt_ += len;
+    ack_pending_ = true;
+    notify_readable();
+    if (hooks_ == nullptr && options_.delayed_ack) {
+      // Clean in-order progress: defer the ACK exactly as the full path
+      // does (every 2nd segment, or the delack timer).
+      delack_segments_++;
+      if (delack_segments_ < 2) {
+        ack_pending_ = false;
+        if (delack_timer_ == sim::kInvalidTimer) {
+          delack_timer_ = scheduler_.schedule_after(
+              options_.delayed_ack_timeout, [this] {
+                delack_timer_ = sim::kInvalidTimer;
+                if (state_ == TcpState::closed) return;
+                ack_pending_ = true;
+                output();
+              });
+        }
+      }
+    }
+  }
+
+  output();
+  return true;
 }
 
 void TcpConnection::process_syn_sent(const net::TcpSegment& segment) {
@@ -627,7 +752,13 @@ void TcpConnection::deposit_in_order() {
   if (hooks_) {
     std::uint32_t wire_limit =
         hooks_->deposit_limit(*this, off_to_seq_rcv(logical_end));
-    limit = std::min(limit, seq_to_off_rcv(wire_limit));
+    std::uint64_t hook_limit = seq_to_off_rcv(wire_limit);
+    limit = std::min(limit, hook_limit);
+    // Re-snapshot the gate for the fast path, but only while the gate is
+    // provably non-binding: a binding gate has an open stall interval
+    // whose closure must come from an authoritative hook call.
+    deposit_cache_valid_ =
+        hook_limit >= logical_end && hooks_->gate_marks(*this, gate_marks_);
   }
 
   std::uint64_t data_limit = std::min(limit, in_end);
@@ -697,9 +828,23 @@ void TcpConnection::output() {
   std::size_t usable = std::min(cwnd_, snd_wnd_);
   std::uint64_t limit = snd_una_ + usable;
   if (hooks_) {
-    std::uint32_t wire_limit =
-        hooks_->transmit_limit(*this, off_to_seq_snd(limit));
-    limit = std::min(limit, seq_to_off_snd(wire_limit));
+    bool cache_hit =
+        transmit_cache_valid_ &&
+        (gate_marks_.transmit_unbounded ||
+         seq_to_off_snd(gate_marks_.transmit_mark) >= limit);
+    if (cache_hit) {
+      // Send gate provably open up to the window limit: single compare.
+      if (gate_marks_.cached_checks) ++*gate_marks_.cached_checks;
+    } else {
+      std::uint32_t wire_limit =
+          hooks_->transmit_limit(*this, off_to_seq_snd(limit));
+      std::uint64_t hook_limit = seq_to_off_snd(wire_limit);
+      // Same rule as the deposit side: only a non-binding gate may be
+      // cached (no open stall interval the cache could mask).
+      transmit_cache_valid_ =
+          hook_limit >= limit && hooks_->gate_marks(*this, gate_marks_);
+      limit = std::min(limit, hook_limit);
+    }
   }
 
   bool sent_any = false;
@@ -997,6 +1142,7 @@ bool TcpConnection::retransmit_next_hole() {
 
 void TcpConnection::on_gate_update() {
   if (state_ == TcpState::closed) return;
+  invalidate_gate_cache();  // successor state moved; re-snapshot via hooks
   deposit_in_order();
   output();
 }

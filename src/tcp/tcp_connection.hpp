@@ -40,6 +40,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
     std::uint64_t dup_acks = 0;           ///< duplicate ACKs received
     std::uint64_t zero_window_probes = 0;
     std::uint64_t sack_retransmits = 0;  ///< hole repairs from the scoreboard
+    /// Header prediction: segments fully handled by the fast path vs
+    /// segments that fell through to the full state machine (only counted
+    /// while the fast path is enabled and the connection is past the
+    /// handshake).
+    std::uint64_t fastpath_hits = 0;
+    std::uint64_t fastpath_misses = 0;
     /// Congestion window, sampled at every cumulative-ACK advance.
     stats::Histogram cwnd_bytes{stats::cwnd_buckets()};
 
@@ -121,8 +127,21 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // ---- ft-TCP interface (used by the hydranet::ftcp layer) --------------
 
   /// Installs/replaces the gating hooks (nullptr restores stock TCP).
-  void set_hooks(TcpConnectionHooks* hooks) { hooks_ = hooks; }
+  void set_hooks(TcpConnectionHooks* hooks) {
+    hooks_ = hooks;
+    invalidate_gate_cache();
+  }
   TcpConnectionHooks* hooks() const { return hooks_; }
+
+  /// Drops the cached gate snapshot; the next gate check goes back to the
+  /// authoritative hook (which re-snapshots).  Called by the ftcp layer
+  /// whenever anything that feeds the gates changes — successor reports,
+  /// reconfiguration, or an out-of-band transmit_limit() probe whose
+  /// stall-tracking side effects the cache must not mask.
+  void invalidate_gate_cache() {
+    deposit_cache_valid_ = false;
+    transmit_cache_valid_ = false;
+  }
 
   /// Re-evaluates the deposit and transmit gates; called when the
   /// acknowledgement channel delivers fresh successor state.
@@ -149,6 +168,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void on_segment(const net::TcpSegment& segment);
 
   // Segment processing helpers.
+  /// Header prediction (the VJ fast path): recognises the two common-case
+  /// shapes on an ESTABLISHED connection — a pure ACK advancing snd_una,
+  /// and an in-order data segment with nothing unusual in flight — and
+  /// handles them completely, with effects identical to the full state
+  /// machine.  Returns false (connection untouched) on anything else.
+  bool try_fast_path(const net::TcpSegment& segment);
   void process_syn_sent(const net::TcpSegment& segment);
   void process_general(const net::TcpSegment& segment);
   bool sequence_acceptable(const net::TcpSegment& segment) const;
@@ -212,6 +237,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TcpOptions options_;
   TcpState state_ = TcpState::closed;
   TcpConnectionHooks* hooks_ = nullptr;
+
+  // --- cached ft-TCP gate snapshot (see GateMarks) ---
+  // A side is valid only when the last authoritative hook call on that
+  // side was non-binding (so no stall interval is open that a skipped
+  // call could fail to close); it is dropped on every gate update.
+  GateMarks gate_marks_{};
+  bool deposit_cache_valid_ = false;
+  bool transmit_cache_valid_ = false;
 
   // --- send state (offsets are bytes since ISS; SYN occupies offset 0,
   //     data starts at offset 1, FIN occupies the offset after the data) ---

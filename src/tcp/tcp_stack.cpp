@@ -29,11 +29,22 @@ Result<TcpListener*> TcpStack::listen(net::Ipv4Address address,
     return Errc::invalid_argument;
   }
   net::Endpoint key{address, port};
-  if (listeners_.contains(key)) return Errc::address_in_use;
+  PortListeners& entry = listeners_[port];
+  if (address.is_unspecified()) {
+    if (entry.wildcard != nullptr) return Errc::address_in_use;
+  } else {
+    for (const auto& [bound, listener] : entry.exact) {
+      if (bound == address) return Errc::address_in_use;
+    }
+  }
   auto listener = std::unique_ptr<TcpListener>(
       new TcpListener(*this, key, std::move(on_accept), options));
   TcpListener* raw = listener.get();
-  listeners_.emplace(key, std::move(listener));
+  if (address.is_unspecified()) {
+    entry.wildcard = std::move(listener);
+  } else {
+    entry.exact.emplace_back(address, std::move(listener));
+  }
   return raw;
 }
 
@@ -45,25 +56,41 @@ Result<std::shared_ptr<TcpConnection>> TcpStack::connect(
                                 : local_address;
   if (!ip_.is_local(source)) return Errc::invalid_argument;
 
-  // Pick a free ephemeral port for this (source, remote) pair.
-  std::uint16_t port = 0;
-  for (int attempts = 0; attempts < 16384; ++attempts) {
-    std::uint16_t candidate = next_ephemeral_;
-    next_ephemeral_ = next_ephemeral_ == 65535 ? 32768 : next_ephemeral_ + 1;
-    ConnectionKey probe{net::Endpoint{source, candidate}, remote};
-    if (!connections_.contains(probe)) {
-      port = candidate;
-      break;
-    }
-  }
+  std::uint16_t port = allocate_ephemeral_port();
   if (port == 0) return Errc::address_in_use;
 
   ConnectionKey key{net::Endpoint{source, port}, remote};
   auto connection = std::shared_ptr<TcpConnection>(
       new TcpConnection(*this, key, options));
   connections_.emplace(key, connection);
+  track_local_port(port, +1);
   connection->start_connect();
   return connection;
+}
+
+std::uint16_t TcpStack::allocate_ephemeral_port() {
+  constexpr int kRangeSize = 65536 - 32768;
+  for (int attempts = 0; attempts < kRangeSize; ++attempts) {
+    std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ == 65535 ? 32768 : next_ephemeral_ + 1;
+    auto it = local_port_refs_.find(candidate);
+    if (it == local_port_refs_.end() || it->second == 0) return candidate;
+  }
+  return 0;  // every ephemeral port has a live connection
+}
+
+void TcpStack::track_local_port(std::uint16_t port, int delta) {
+  if (delta > 0) {
+    local_port_refs_[port]++;
+    return;
+  }
+  auto it = local_port_refs_.find(port);
+  if (it == local_port_refs_.end()) return;
+  if (it->second > 1) {
+    it->second--;
+  } else {
+    local_port_refs_.erase(it);
+  }
 }
 
 void TcpStack::set_port_options(std::uint16_t port, PortOptions options) {
@@ -96,6 +123,7 @@ void TcpStack::remove_connection(const ConnectionKey& key) {
   std::shared_ptr<TcpConnection> doomed = it->second;
   closed_stats_.merge(doomed->stats());
   connections_.erase(it);
+  track_local_port(key.local.port, -1);
   pending_accepts_.erase(key);
   scheduler().schedule_after(sim::Duration{0}, [doomed] {});
 }
@@ -119,34 +147,46 @@ void TcpStack::notify_established(TcpConnection& connection) {
 }
 
 void TcpStack::remove_listener(const net::Endpoint& endpoint) {
-  // Orphan any connections still waiting to be accepted on this listener.
-  TcpListener* raw = nullptr;
-  if (auto it = listeners_.find(endpoint); it != listeners_.end()) {
-    raw = it->second.get();
-  }
-  if (raw != nullptr) {
-    for (auto it = pending_accepts_.begin(); it != pending_accepts_.end();) {
-      if (it->second == raw) {
-        it = pending_accepts_.erase(it);
-      } else {
-        ++it;
+  auto entry_it = listeners_.find(endpoint.port);
+  if (entry_it == listeners_.end()) return;
+  PortListeners& entry = entry_it->second;
+
+  // Detach the listener first so pending accepts can be orphaned.
+  std::unique_ptr<TcpListener> removed;
+  if (endpoint.address.is_unspecified()) {
+    removed = std::move(entry.wildcard);
+  } else {
+    for (auto it = entry.exact.begin(); it != entry.exact.end(); ++it) {
+      if (it->first == endpoint.address) {
+        removed = std::move(it->second);
+        entry.exact.erase(it);
+        break;
       }
     }
   }
-  listeners_.erase(endpoint);
+  if (entry.empty()) listeners_.erase(entry_it);
+  if (removed == nullptr) return;
+
+  // Orphan any connections still waiting to be accepted on this listener.
+  for (auto it = pending_accepts_.begin(); it != pending_accepts_.end();) {
+    if (it->second == removed.get()) {
+      it = pending_accepts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 TcpListener* TcpStack::find_listener(net::Ipv4Address address,
                                      std::uint16_t port) {
-  if (auto it = listeners_.find(net::Endpoint{address, port});
-      it != listeners_.end()) {
-    return it->second.get();
+  // One hash probe on the port; exact bindings (if any) shadow the
+  // wildcard, as with the old per-endpoint table.
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) return nullptr;
+  for (const auto& [bound, listener] : it->second.exact) {
+    if (bound == address) return listener.get();
   }
-  if (auto it = listeners_.find(net::Endpoint{net::Ipv4Address(), port});
-      it != listeners_.end()) {
-    return it->second.get();
-  }
-  return nullptr;
+  return it->second.wildcard.get();
 }
 
 void TcpStack::send_reset_for(const net::Ipv4Header& header,
@@ -200,6 +240,7 @@ void TcpStack::on_segment_datagram(const net::Ipv4Header& header,
         connection->set_hooks(port_opts->hooks);
       }
       connections_.emplace(key, connection);
+      track_local_port(key.local.port, +1);
       pending_accepts_.emplace(key, listener);
       connection->start_passive(iss, segment);
       return;

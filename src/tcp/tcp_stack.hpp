@@ -114,10 +114,26 @@ class TcpStack {
   void remove_listener(const net::Endpoint& endpoint);
 
  private:
+  /// All listeners sharing one port: the usual case is a single wildcard
+  /// OR a single exact binding, so SYN demux is one hash probe on the port
+  /// plus (at most) a short scan of exact bindings.
+  struct PortListeners {
+    std::vector<std::pair<net::Ipv4Address, std::unique_ptr<TcpListener>>>
+        exact;
+    std::unique_ptr<TcpListener> wildcard;
+    bool empty() const { return exact.empty() && wildcard == nullptr; }
+  };
+
   void on_segment_datagram(const net::Ipv4Header& header, CowBytes payload);
   TcpListener* find_listener(net::Ipv4Address address, std::uint16_t port);
   void send_reset_for(const net::Ipv4Header& header,
                       const net::TcpSegment& segment);
+  /// O(1) amortised ephemeral allocation: a rotating next-port counter over
+  /// [32768, 65535] skipping ports with live connections (tracked by
+  /// refcount, BSD-style — one connection per local port).  Returns 0 when
+  /// the whole range is in use.
+  std::uint16_t allocate_ephemeral_port();
+  void track_local_port(std::uint16_t port, int delta);
 
   ip::IpStack& ip_;
   Rng rng_;
@@ -125,11 +141,14 @@ class TcpStack {
   std::unordered_map<ConnectionKey, std::shared_ptr<TcpConnection>,
                      ConnectionKeyHash>
       connections_;
-  std::unordered_map<net::Endpoint, std::unique_ptr<TcpListener>> listeners_;
+  std::unordered_map<std::uint16_t, PortListeners> listeners_;
   std::unordered_map<std::uint16_t, PortOptions> port_options_;
   // Connections awaiting their accept callback, keyed by connection.
   std::unordered_map<ConnectionKey, TcpListener*, ConnectionKeyHash>
       pending_accepts_;
+  /// Live connections per local port (all of them, not just ephemeral:
+  /// also steers allocation away from service ports in the range).
+  std::unordered_map<std::uint16_t, std::uint32_t> local_port_refs_;
   TcpConnection::Stats closed_stats_;  ///< summed from removed connections
   std::uint16_t next_ephemeral_ = 32768;
 };

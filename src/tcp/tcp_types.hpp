@@ -85,6 +85,29 @@ struct TcpOptions {
 
 class TcpConnection;
 
+/// Process-global switch for the header-prediction fast path (on by
+/// default).  The fast path is an optimisation, never a behaviour change;
+/// the property tests force it off and assert byte-identical runs.
+void set_fastpath_enabled(bool enabled);
+bool fastpath_enabled();
+
+/// Snapshot of an ft-TCP gate's state, cached by the connection so the
+/// fast-path gate check is a single integer compare instead of a virtual
+/// call re-deriving chain state per segment.  The marks are the successor
+/// high-water sequence numbers the gates would clamp to; `unbounded` means
+/// the gate cannot bind at all (last in chain, or pass-through).  The
+/// snapshot stays valid until the owning service invalidates it (successor
+/// report, reconfiguration) — see TcpConnection::invalidate_gate_cache().
+struct GateMarks {
+  std::uint32_t deposit_mark = 0;   ///< wire seq; deposit byte k iff k < mark
+  std::uint32_t transmit_mark = 0;  ///< wire seq; send byte k iff k < mark
+  bool deposit_unbounded = false;
+  bool transmit_unbounded = false;
+  /// Bumped by the connection each time a gate check is served from this
+  /// snapshot (the service's ftcp.gate.cached_checks counter).
+  std::uint64_t* cached_checks = nullptr;
+};
+
 /// ft-TCP extension points, installed per replicated port.
 ///
 /// A stock connection has no hooks: deposits are immediate, transmission is
@@ -132,6 +155,16 @@ class TcpConnectionHooks {
 
   /// Terminal cleanup: the connection left the stack's demux tables.
   virtual void on_connection_closed(TcpConnection& connection) = 0;
+
+  /// Fills `out` with a cacheable snapshot of the current gate state and
+  /// returns true.  Implementations that cannot provide a stable snapshot
+  /// return false (the default), which keeps every gate check on the
+  /// authoritative deposit_limit()/transmit_limit() path.
+  virtual bool gate_marks(const TcpConnection& connection, GateMarks& out) {
+    (void)connection;
+    (void)out;
+    return false;
+  }
 };
 
 /// Generates the initial send sequence number for a new connection.

@@ -1,0 +1,252 @@
+// Differential property test for the TCP header-prediction fast path: the
+// same scenario replayed with the fast path force-disabled and enabled must
+// produce byte-identical streams, identical final sequence numbers, and an
+// identical metrics snapshot (counters, histograms, event timeline) — the
+// fast path may only change how fast the simulator runs, never what it
+// simulates.  The corpus covers plain TCP and ft-TCP chains under loss,
+// retransmission-driven reordering, and replica crashes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/ttcp.hpp"
+#include "link/loss_model.hpp"
+#include "test_util.hpp"
+#include "testbed/testbed.hpp"
+
+namespace hydranet {
+namespace {
+
+using testbed::Setup;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+/// Everything observable about one run that must not depend on the fast
+/// path.  Counters are keyed "node/name"; histograms fold to count/sum.
+struct RunResult {
+  bool finished = false;
+  bool failed = false;
+  std::vector<std::string> streams;  ///< per-receiver "bytes:checksum:eof"
+  std::vector<std::string> timeline;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::string> histograms;
+  std::uint64_t fastpath_hits = 0;
+  std::uint64_t fastpath_misses = 0;
+};
+
+/// Metrics that legitimately differ between the two runs: the fast-path
+/// telemetry itself, plus process-global counters that accumulate across
+/// Networks in one test binary (datapath.*, scheduler.alloc_fallbacks).
+bool excluded_metric(const std::string& node, const std::string& name) {
+  if (name == "tcp.fastpath.hits" || name == "tcp.fastpath.misses") return true;
+  if (name == "ftcp.gate.cached_checks") return true;
+  if (node == "datapath") return true;
+  if (name == "scheduler.alloc_fallbacks") return true;
+  return false;
+}
+
+void snapshot_metrics(stats::Registry& registry, RunResult& out) {
+  for (const auto& [node, metrics] : registry.nodes()) {
+    for (const auto& [name, counter] : metrics.counters) {
+      if (name == "tcp.fastpath.hits") out.fastpath_hits += counter.value();
+      if (name == "tcp.fastpath.misses") out.fastpath_misses += counter.value();
+      if (excluded_metric(node, name)) continue;
+      out.counters[node + "/" + name] = counter.value();
+    }
+    for (const auto& [name, histogram] : metrics.histograms) {
+      if (excluded_metric(node, name)) continue;
+      std::ostringstream fold;
+      fold << histogram.count() << ":" << histogram.sum();
+      out.histograms[node + "/" + name] = fold.str();
+    }
+  }
+  for (const auto& event : registry.timeline().events()) {
+    out.timeline.push_back(event.to_string());
+  }
+}
+
+struct Scenario {
+  Setup setup = Setup::clean;
+  int backups = 0;
+  int crash_index = -1;   ///< server to crash; -1 = none
+  int crash_after_ms = 0;
+  double loss = 0.0;
+  std::uint64_t seed = 1;
+  std::size_t total_bytes = 512 * 1024;
+};
+
+RunResult run_scenario(const Scenario& scenario, bool fastpath) {
+  tcp::set_fastpath_enabled(fastpath);
+
+  TestbedConfig config;
+  config.setup = scenario.setup;
+  config.backups = scenario.backups;
+  config.detector.retransmission_threshold = 3;
+  config.seed = scenario.seed;
+  Testbed bed(config);
+  if (scenario.loss > 0) {
+    bed.client_link().set_loss_model(
+        std::make_unique<link::BernoulliLoss>(scenario.loss));
+  }
+
+  std::vector<std::unique_ptr<apps::TtcpReceiver>> receivers;
+  for (std::size_t i = 0; i < bed.server_count(); ++i) {
+    receivers.push_back(std::make_unique<apps::TtcpReceiver>(
+        bed.server(i), config.service.address, config.service.port));
+  }
+  apps::TtcpTransmitter::Config tx;
+  tx.server = config.service;
+  tx.total_bytes = scenario.total_bytes;
+  tx.write_size = 1024;
+  apps::TtcpTransmitter transmitter(bed.client(), tx);
+  EXPECT_TRUE(transmitter.start().ok());
+
+  if (scenario.crash_index >= 0) {
+    bed.net().scheduler().schedule_after(
+        sim::milliseconds(scenario.crash_after_ms), [&bed, &scenario] {
+          bed.crash_server(static_cast<std::size_t>(scenario.crash_index));
+        });
+  }
+  bed.net().run_for(sim::seconds(120));
+
+  RunResult result;
+  result.finished = transmitter.report().finished;
+  result.failed = transmitter.report().failed;
+  for (const auto& receiver : receivers) {
+    for (const auto& report : receiver->reports()) {
+      std::ostringstream line;
+      line << report.bytes_received << ":" << report.checksum << ":"
+           << report.eof;
+      result.streams.push_back(line.str());
+    }
+  }
+  snapshot_metrics(bed.stats(), result);
+
+  tcp::set_fastpath_enabled(true);  // restore the process default
+  return result;
+}
+
+void expect_identical(const RunResult& slow, const RunResult& fast) {
+  EXPECT_EQ(slow.finished, fast.finished);
+  EXPECT_EQ(slow.failed, fast.failed);
+  EXPECT_EQ(slow.streams, fast.streams);
+  ASSERT_EQ(slow.timeline.size(), fast.timeline.size());
+  for (std::size_t i = 0; i < slow.timeline.size(); ++i) {
+    EXPECT_EQ(slow.timeline[i], fast.timeline[i]) << "timeline entry " << i;
+  }
+  EXPECT_EQ(slow.counters, fast.counters);
+  EXPECT_EQ(slow.histograms, fast.histograms);
+  // With the fast path off, every segment must take the general path.
+  EXPECT_EQ(slow.fastpath_hits, 0u);
+}
+
+class FastPathProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(FastPathProperty, DisabledAndEnabledRunsAreIdentical) {
+  const Scenario& scenario = GetParam();
+  RunResult slow = run_scenario(scenario, /*fastpath=*/false);
+  RunResult fast = run_scenario(scenario, /*fastpath=*/true);
+  expect_identical(slow, fast);
+  // Fault-free runs must also complete; faulty runs only need identity.
+  if (scenario.crash_index < 0 && scenario.loss == 0) {
+    EXPECT_TRUE(fast.finished);
+  }
+}
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  std::ostringstream name;
+  name << (s.setup == Setup::clean ? "tcp" : "ftcp") << "_b" << s.backups;
+  if (s.crash_index >= 0) name << "_crash" << s.crash_index;
+  if (s.loss > 0) name << "_loss" << static_cast<int>(s.loss * 100);
+  name << "_s" << s.seed;
+  return name.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FastPathProperty,
+    ::testing::Values(
+        // Plain TCP, clean path: near-100% fast-path traffic.
+        Scenario{Setup::clean, 0, -1, 0, 0.00, 11},
+        // Plain TCP under loss: retransmissions, dup ACKs, SACK recovery,
+        // out-of-order arrivals — heavy slow-path interleaving.
+        Scenario{Setup::clean, 0, -1, 0, 0.02, 12},
+        Scenario{Setup::clean, 0, -1, 0, 0.05, 13, 256 * 1024},
+        // ft-TCP chain, no faults: gate checks on every deposit/send.
+        Scenario{Setup::primary_backup, 1, -1, 0, 0.00, 21},
+        Scenario{Setup::primary_backup, 2, -1, 0, 0.00, 22},
+        // ft-TCP chain under loss: gates + retransmission interleaving.
+        Scenario{Setup::primary_backup, 1, -1, 0, 0.02, 23},
+        // Failover: primary crash mid-stream, backup crash mid-stream.
+        Scenario{Setup::primary_backup, 1, 0, 800, 0.00, 31},
+        Scenario{Setup::primary_backup, 2, 0, 1500, 0.00, 32},
+        Scenario{Setup::primary_backup, 2, 1, 1000, 0.00, 33},
+        // Failover under ambient loss.
+        Scenario{Setup::primary_backup, 1, 0, 1200, 0.01, 41}),
+    scenario_name);
+
+// Final sequence numbers, checked directly on a live connection: transfer
+// with deterministic drops, then compare snd/rcv wire sequence numbers of
+// the still-open client connection between the two modes.
+TEST(FastPathProperty, FinalSequenceNumbersMatchUnderDrops) {
+  auto run = [](bool fastpath) {
+    tcp::set_fastpath_enabled(fastpath);
+    testutil::Pair pair;
+    pair.link.set_loss_model(std::make_unique<testutil::DropNth>(
+        std::vector<std::uint64_t>{3, 7, 20, 21, 45}, 200));
+    // The echo side needs headroom: a retransmission-repaired hole delivers
+    // a burst that must fit the echo send buffer in one readable callback.
+    tcp::TcpOptions server_options;
+    server_options.send_buffer_capacity = 256 * 1024;
+    server_options.sack = true;
+    testutil::ByteSinkServer sink(pair.b, testutil::ip(10, 0, 0, 2), 9000,
+                                  /*echo_back=*/true, server_options);
+    // Delayed ACKs + SACK on the client: the fast path's delack replication
+    // and its bail-out on SACK-carrying segments both get traffic.
+    tcp::TcpOptions client_options;
+    client_options.sack = true;
+    client_options.delayed_ack = true;
+    auto client =
+        pair.a.tcp()
+            .connect(testutil::ip(10, 0, 0, 1),
+                     net::Endpoint{testutil::ip(10, 0, 0, 2), 9000},
+                     client_options)
+            .value();
+    Bytes echoed;
+    client->set_on_readable([&] {
+      for (;;) {
+        auto data = client->recv(64 * 1024);
+        if (!data || data.value().empty()) return;
+        echoed.insert(echoed.end(), data.value().begin(), data.value().end());
+      }
+    });
+    Bytes payload = apps::ttcp_pattern(96 * 1024, 5);
+    std::size_t sent = 0;
+    auto pump = [&] {
+      while (sent < payload.size()) {
+        auto took = client->send(
+            BytesView(payload.data() + sent, payload.size() - sent));
+        if (!took || took.value() == 0) return;
+        sent += took.value();
+      }
+    };
+    client->set_on_established(pump);
+    client->set_on_writable(pump);
+    pair.net.run_for(sim::seconds(30));
+    tcp::set_fastpath_enabled(true);
+    return std::tuple{client->snd_nxt_wire(), client->rcv_nxt_wire(),
+                      apps::fnv1a(echoed), echoed.size(),
+                      apps::fnv1a(sink.received)};
+  };
+  auto slow = run(false);
+  auto fast = run(true);
+  EXPECT_EQ(slow, fast);
+  EXPECT_EQ(std::get<3>(fast), 96u * 1024u);
+}
+
+}  // namespace
+}  // namespace hydranet

@@ -1,0 +1,267 @@
+// Randomized differential test: the timing-wheel scheduler against a
+// straightforward reference heap.  Both models consume an identical,
+// pre-generated operation stream (schedule with a delta mixture that
+// stresses bucket boundaries, cancel of live and already-fired timers,
+// run_until, run_next); the firing logs, clock, and pending counts must
+// match exactly — including FIFO order among equal deadlines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <queue>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hydranet::sim {
+namespace {
+
+/// One observed firing: which scheduled op fired, and at what clock value.
+struct Firing {
+  std::uint64_t label;
+  std::int64_t at;
+  bool operator==(const Firing&) const = default;
+};
+
+/// Reference model: a lazy-deletion min-heap ordered by (time, seq), the
+/// exact semantics the wheel must reproduce.  seq is the global schedule
+/// order, shared with the real scheduler because both are driven in
+/// lockstep.
+class ReferenceScheduler {
+ public:
+  void schedule(std::int64_t time, std::uint64_t seq, std::uint64_t label) {
+    heap_.push(Entry{time, seq, label});
+    live_.insert(seq);
+  }
+
+  void cancel(std::uint64_t seq) { live_.erase(seq); }
+  bool is_live(std::uint64_t seq) const { return live_.contains(seq); }
+  std::size_t pending() const { return live_.size(); }
+  std::int64_t now() const { return now_; }
+
+  bool run_next(std::vector<Firing>& log) {
+    skip_dead();
+    if (heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    live_.erase(e.seq);
+    now_ = e.time;
+    log.push_back({e.label, e.time});
+    return true;
+  }
+
+  void run_until(std::int64_t t, std::vector<Firing>& log) {
+    for (;;) {
+      skip_dead();
+      if (heap_.empty() || heap_.top().time > t) break;
+      Entry e = heap_.top();
+      heap_.pop();
+      live_.erase(e.seq);
+      now_ = e.time;
+      log.push_back({e.label, e.time});
+    }
+    if (now_ < t) now_ = t;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t time;
+    std::uint64_t seq;
+    std::uint64_t label;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void skip_dead() {
+    while (!heap_.empty() && !live_.contains(heap_.top().seq)) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> live_;
+  std::int64_t now_ = 0;
+};
+
+/// Delta mixture designed to hit the wheel where it hurts: zero delays
+/// (same-tick FIFO), small deltas (level 0), values straddling the 64^k
+/// bucket boundaries (cascade paths), and far-future deltas (high levels).
+std::int64_t random_delta(std::mt19937_64& rng) {
+  switch (rng() % 8) {
+    case 0:
+      return 0;  // same tick: FIFO order must hold
+    case 1:
+    case 2:
+      return static_cast<std::int64_t>(rng() % 64);  // level 0
+    case 3:
+    case 4: {
+      // Around a bucket boundary at a random level: 64^k +/- small.
+      int level = 1 + static_cast<int>(rng() % 5);
+      std::int64_t boundary = std::int64_t{1} << (6 * level);
+      std::int64_t jitter = static_cast<std::int64_t>(rng() % 128) - 64;
+      return std::max<std::int64_t>(0, boundary + jitter);
+    }
+    case 5:
+      return static_cast<std::int64_t>(rng() % 1'000'000);  // mid-range
+    case 6:
+      return static_cast<std::int64_t>(rng() % 1'000'000'000'000);  // far
+    default:
+      return -static_cast<std::int64_t>(rng() % 100);  // clamped to now
+  }
+}
+
+void fuzz_one_seed(std::uint64_t seed, int ops) {
+  std::mt19937_64 rng(seed);
+  Scheduler real;
+  ReferenceScheduler ref;
+  std::vector<Firing> real_log;
+  std::vector<Firing> ref_log;
+
+  // Live handles by schedule order: (seq, TimerId) pairs for cancellation.
+  struct Handle {
+    std::uint64_t seq;
+    TimerId id;
+  };
+  std::vector<Handle> handles;
+  std::uint64_t next_seq = 0;
+  std::int64_t sticky_time = -1;  // reused deadline to pile up equal times
+
+  for (int op = 0; op < ops; ++op) {
+    std::uint64_t dice = rng() % 100;
+    if (dice < 55) {
+      // Schedule.  One in four reuses the previous absolute deadline so
+      // several distinct schedule calls collide on one tick.
+      std::int64_t delta = random_delta(rng);
+      std::int64_t when = real.now().ns + std::max<std::int64_t>(0, delta);
+      if (sticky_time >= real.now().ns && rng() % 4 == 0) {
+        when = sticky_time;
+      }
+      sticky_time = when;
+      std::uint64_t seq = next_seq++;
+      std::uint64_t label = seq;
+      TimerId id = real.schedule_at(
+          TimePoint{when},
+          [&real_log, &real, label] { real_log.push_back({label, real.now().ns}); });
+      ref.schedule(when, seq, label);
+      handles.push_back({seq, id});
+    } else if (dice < 75) {
+      // Cancel a random handle — possibly one that already fired, which
+      // must be a harmless no-op on both sides.
+      if (handles.empty()) continue;
+      std::size_t pick = rng() % handles.size();
+      Handle h = handles[pick];
+      real.cancel(h.id);
+      ref.cancel(h.seq);
+      if (rng() % 2 == 0) {
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else if (dice < 90) {
+      // Advance time by a random span (zero included: drains due events).
+      std::int64_t span = random_delta(rng);
+      TimePoint target{real.now().ns + std::max<std::int64_t>(0, span)};
+      real.run_until(target);
+      ref.run_until(target.ns, ref_log);
+    } else {
+      real.run_next();
+      ref.run_next(ref_log);
+    }
+
+    ASSERT_EQ(real.now().ns, ref.now()) << "clock diverged at op " << op;
+    ASSERT_EQ(real.pending(), ref.pending()) << "pending diverged at op " << op;
+    ASSERT_EQ(real_log.size(), ref_log.size()) << "log length at op " << op;
+  }
+
+  // Drain everything still pending and compare the complete firing logs.
+  while (real.run_next()) {
+  }
+  while (ref.run_next(ref_log)) {
+  }
+  ASSERT_EQ(real_log.size(), ref_log.size());
+  for (std::size_t i = 0; i < real_log.size(); ++i) {
+    ASSERT_EQ(real_log[i].label, ref_log[i].label) << "order diverged at " << i;
+    ASSERT_EQ(real_log[i].at, ref_log[i].at) << "fire time diverged at " << i;
+  }
+  EXPECT_EQ(real.pending(), 0u);
+  EXPECT_EQ(real.now().ns, ref.now());
+}
+
+TEST(SchedulerFuzz, MatchesReferenceHeapAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull, 1234ull, 987654321ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    fuzz_one_seed(seed, 20000);
+  }
+}
+
+// Dense equal-time collisions: hundreds of events on a handful of ticks,
+// interleaved with cancels, must still fire in exact schedule order.
+TEST(SchedulerFuzz, EqualTimeStressKeepsFifo) {
+  std::mt19937_64 rng(7);
+  Scheduler real;
+  ReferenceScheduler ref;
+  std::vector<Firing> real_log;
+  std::vector<Firing> ref_log;
+  std::vector<std::pair<std::uint64_t, TimerId>> handles;
+
+  const std::int64_t ticks[] = {0, 1, 63, 64, 65, 4096, 4097};
+  for (std::uint64_t seq = 0; seq < 600; ++seq) {
+    std::int64_t when = ticks[rng() % std::size(ticks)];
+    TimerId id = real.schedule_at(
+        TimePoint{when},
+        [&real_log, &real, seq] { real_log.push_back({seq, real.now().ns}); });
+    ref.schedule(when, seq, seq);
+    handles.emplace_back(seq, id);
+  }
+  for (int i = 0; i < 150; ++i) {
+    auto& [seq, id] = handles[rng() % handles.size()];
+    real.cancel(id);
+    ref.cancel(seq);
+  }
+  real.run_until(TimePoint{5000});
+  ref.run_until(5000, ref_log);
+  ASSERT_EQ(real_log.size(), ref_log.size());
+  for (std::size_t i = 0; i < real_log.size(); ++i) {
+    ASSERT_EQ(real_log[i].label, ref_log[i].label) << "at " << i;
+    ASSERT_EQ(real_log[i].at, ref_log[i].at) << "at " << i;
+  }
+  EXPECT_EQ(real.pending(), 0u);
+}
+
+// Timers re-armed from inside callbacks (the RTO pattern) cross bucket
+// boundaries repeatedly; a self-rescheduling chain must tick precisely.
+TEST(SchedulerFuzz, SelfReschedulingChainAdvancesExactly) {
+  // Growing-period recurrence, computed in uint64 and masked to 50 bits so
+  // it crosses many level boundaries without signed overflow.
+  constexpr auto next_period = [](std::uint64_t p) {
+    return (p * 3 + 1) & ((std::uint64_t{1} << 50) - 1);
+  };
+  Scheduler s;
+  int fired = 0;
+  std::uint64_t period = 1;
+  std::function<void()> step = [&] {
+    ++fired;
+    period = next_period(period);
+    if (fired < 40) {
+      s.schedule_after(Duration{static_cast<std::int64_t>(period)},
+                       [&] { step(); });
+    }
+  };
+  s.schedule_after(Duration{0}, [&] { step(); });
+  s.run();
+  EXPECT_EQ(fired, 40);
+  std::uint64_t expect = 0;
+  std::uint64_t p = 1;
+  for (int i = 1; i < 40; ++i) {
+    p = next_period(p);
+    expect += p;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(s.now().ns), expect);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace hydranet::sim

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Hot-path benchmark regression gate.
+
+Runs bench_packet_rate --json (best of N runs), compares every scenario's
+packets_per_wall_second against the committed snapshot (BENCH_hotpath.json
+at the repo root), and fails if any scenario regressed by more than the
+tolerance (default 15%).  Improvements are reported but never fail.
+
+Refresh the snapshot after a deliberate perf change with:
+
+    tools/bench_check.py --bench <path>/bench_packet_rate \\
+        --baseline BENCH_hotpath.json --update
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(bench, packets, runs):
+    """Best-of-N: keeps, per scenario, the run with the highest rate (wall
+    clock only gets slower under interference, never faster)."""
+    best = {}
+    order = []
+    for i in range(runs):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            path = tmp.name
+        try:
+            subprocess.run(
+                [bench, "--packets", str(packets), "--json", path],
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            with open(path) as f:
+                doc = json.load(f)
+        finally:
+            os.unlink(path)
+        for scenario in doc["scenarios"]:
+            name = scenario["name"]
+            if name not in best:
+                order.append(name)
+                best[name] = scenario
+            elif (scenario["packets_per_wall_second"]
+                  > best[name]["packets_per_wall_second"]):
+                best[name] = scenario
+    return doc, [best[name] for name in order]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to the bench_packet_rate binary")
+    parser.add_argument("--baseline", required=True,
+                        help="committed snapshot (BENCH_hotpath.json)")
+    parser.add_argument("--packets", type=int, default=20000)
+    parser.add_argument("--runs", type=int, default=3,
+                        help="best-of-N runs (default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run and exit")
+    args = parser.parse_args()
+
+    doc, scenarios = run_bench(args.bench, args.packets, args.runs)
+
+    if args.update:
+        doc["scenarios"] = scenarios
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = {s["name"]: s for s in json.load(f)["scenarios"]}
+
+    failed = []
+    for scenario in scenarios:
+        name = scenario["name"]
+        rate = scenario["packets_per_wall_second"]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:24s} {rate:12.0f} pkt/s  (no baseline — skipped)")
+            continue
+        base_rate = base["packets_per_wall_second"]
+        delta = (rate - base_rate) / base_rate if base_rate > 0 else 0.0
+        verdict = "ok"
+        if delta < -args.tolerance:
+            verdict = "REGRESSION"
+            failed.append(name)
+        hit_rate = scenario.get("tcp", {}).get("fastpath_hit_rate", 0.0)
+        extra = f"  fastpath={100 * hit_rate:.1f}%" if hit_rate else ""
+        print(f"{name:24s} {rate:12.0f} pkt/s  vs {base_rate:12.0f} "
+              f"({delta:+7.1%})  {verdict}{extra}")
+
+    missing = set(baseline) - {s["name"] for s in scenarios}
+    for name in sorted(missing):
+        print(f"{name:24s} missing from current run")
+        failed.append(name)
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} scenario(s) regressed more than "
+              f"{args.tolerance:.0%}: {', '.join(failed)}")
+        return 1
+    print("\nPASS: no scenario regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
