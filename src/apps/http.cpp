@@ -5,9 +5,7 @@
 namespace hydranet::apps {
 
 Bytes http_body_for(const std::string& path, std::size_t size) {
-  std::uint64_t seed = fnv1a(
-      BytesView(reinterpret_cast<const std::uint8_t*>(path.data()),
-                path.size()));
+  std::uint64_t seed = fnv1a(as_bytes(path));
   Bytes body(size);
   std::uint64_t x = seed | 1;
   for (std::size_t i = 0; i < size; ++i) {
@@ -55,9 +53,7 @@ void HttpServer::on_data(tcp::TcpConnection* connection, std::string& buffer) {
         std::string path = line.substr(4);
         Bytes body = http_body_for(path, config_.default_body_size);
         std::string header = "OK " + std::to_string(body.size()) + "\n";
-        (void)connection->send(BytesView(
-            reinterpret_cast<const std::uint8_t*>(header.data()),
-            header.size()));
+        (void)connection->send(as_bytes(header));
         (void)connection->send(body);
         requests_served_++;
       }
@@ -92,8 +88,7 @@ void HttpClient::send_next() {
   }
   std::string line = "GET " + config_.paths[next_request_] + "\n";
   request_sent_at_ = host_.scheduler().now();
-  (void)connection_->send(BytesView(
-      reinterpret_cast<const std::uint8_t*>(line.data()), line.size()));
+  (void)connection_->send(as_bytes(line));
 }
 
 void HttpClient::on_readable() {

@@ -4,12 +4,6 @@
 
 namespace hydranet::apps {
 
-namespace {
-BytesView as_bytes(const std::string& s) {
-  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
-}
-}  // namespace
-
 BrokerageServer::BrokerageServer(host::Host& host, Config config)
     : host_(host), config_(config) {
   (void)host_.tcp().listen(

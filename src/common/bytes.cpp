@@ -62,7 +62,8 @@ BytesView ByteReader::view(std::size_t n) {
 std::string ByteReader::str16() {
   std::uint16_t n = u16();
   if (!ensure(n)) return {};
-  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
 }

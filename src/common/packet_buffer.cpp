@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/inline_function.hpp"
+#include "verify/invariant.hpp"
 
 namespace hydranet {
 
@@ -48,8 +49,21 @@ BytesView PacketBuffer::head_view() const {
 }
 
 PacketBuffer PacketBuffer::slice(std::size_t offset, std::size_t len) const {
+#if HYDRANET_INVARIANTS
+  HN_INVARIANT(buffer_alias, contiguous(),
+               "slice(%zu, %zu) of a chained buffer (head %zu + tail %zu)",
+               offset, len, len_, tail_len_);
+  HN_INVARIANT(buffer_alias, offset <= len_ && len <= len_ - offset,
+               "slice(%zu, %zu) overruns the %zu-byte backing run", offset,
+               len, len_);
+  // After a non-fatal report, clamp rather than hand out a view past the
+  // allocation.
+  offset = std::min(offset, len_);
+  len = std::min(len, len_ - offset);
+#else
   assert(contiguous());
   assert(offset + len <= len_);
+#endif
   if (len == 0) return {};
   return PacketBuffer(storage_, offset_ + offset, len);
 }
@@ -91,6 +105,14 @@ void CowBytes::ensure_unique() {
   buffer_.len_ = buffer_.storage_->data.size();
   buffer_.tail_.reset();
   buffer_.tail_len_ = 0;
+  // Post-condition: mutation now cannot bleed into any other frame,
+  // replica copy, or trace entry that shared the old storage.
+  HN_INVARIANT(buffer_alias,
+               buffer_.contiguous() && buffer_.storage_.use_count() == 1 &&
+                   buffer_.offset_ == 0 &&
+                   buffer_.len_ == buffer_.storage_->data.size(),
+               "copy-on-write left the payload aliased (use_count %ld)",
+               buffer_.storage_use_count());
 }
 
 }  // namespace hydranet

@@ -7,10 +7,11 @@
 // exhaustion.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "verify/invariant.hpp"
 
 namespace hydranet {
 
@@ -58,23 +59,32 @@ template <typename T>
 class [[nodiscard]] Result {
  public:
   Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
-  Result(Errc error) : state_(error) { assert(error != Errc::ok); }
+  Result(Errc error) : state_(error) {
+    HN_INVARIANT(result_access, error != Errc::ok,
+                 "Result constructed as an error with Errc::ok");
+  }
 
   bool ok() const { return std::holds_alternative<T>(state_); }
   explicit operator bool() const { return ok(); }
 
   Errc error() const { return ok() ? Errc::ok : std::get<Errc>(state_); }
 
+  // value() on an error is a programming bug: report it with the error it
+  // swallowed (survives NDEBUG in invariant-enabled builds; with a
+  // non-fatal sink installed, std::get then throws bad_variant_access).
   T& value() & {
-    assert(ok());
+    HN_INVARIANT(result_access, ok(), "Result::value() on error %s",
+                 to_string(error()));
     return std::get<T>(state_);
   }
   const T& value() const& {
-    assert(ok());
+    HN_INVARIANT(result_access, ok(), "Result::value() on error %s",
+                 to_string(error()));
     return std::get<T>(state_);
   }
   T&& value() && {
-    assert(ok());
+    HN_INVARIANT(result_access, ok(), "Result::value() on error %s",
+                 to_string(error()));
     return std::get<T>(std::move(state_));
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "stats/timeline.hpp"
+#include "verify/invariant.hpp"
 
 namespace hydranet::ftcp {
 
@@ -141,6 +142,15 @@ std::uint32_t ReplicatedService::deposit_limit(
     track_gate(state->deposit_blocked_since, gate_stats_.deposit_stalls,
                gate_stats_.deposit_stall_ms, lt(limit, in_order_end));
   }
+  // §4.3 receive gate: with a live successor report, byte k may be
+  // deposited only if the successor acknowledged past it — the limit must
+  // never run ahead of the successor's ACK high-water mark.
+  HN_INVARIANT(gate_deposit,
+               !successor_ || state == nullptr || !state->has_info ||
+                   state->passthrough || !gt(limit, state->succ_rcv_nxt),
+               "deposit limit %u exceeds successor ACK mark %u on %s", limit,
+               state != nullptr ? state->succ_rcv_nxt : 0,
+               connection.key().to_string().c_str());
   return limit;
 }
 
@@ -164,6 +174,14 @@ std::uint32_t ReplicatedService::transmit_limit(
                gate_stats_.send_stall_ms,
                lt(limit, window_limit) && connection.unsent_bytes() > 0);
   }
+  // §4.3 send gate: byte k may go out only if the successor's own SEQ#
+  // already covers it — the limit must never pass succ_snd_nxt.
+  HN_INVARIANT(gate_send,
+               !successor_ || state == nullptr || !state->has_info ||
+                   state->passthrough || !gt(limit, state->succ_snd_nxt),
+               "transmit limit %u exceeds successor SEQ mark %u on %s", limit,
+               state != nullptr ? state->succ_snd_nxt : 0,
+               connection.key().to_string().c_str());
   return limit;
 }
 
@@ -215,7 +233,28 @@ void ReplicatedService::track_gate(
 
 bool ReplicatedService::filter_segment(tcp::TcpConnection& connection,
                                        const net::TcpSegment& segment) {
-  if (config_.mode == tcp::ReplicaMode::primary) return true;
+  bool emit = config_.mode == tcp::ReplicaMode::primary;
+#if HYDRANET_INVARIANTS
+  if (!emit && test_force_emission_) emit = true;
+#endif
+  if (emit) {
+    // §4.3 backup silence: only the primary may put segments on the wire;
+    // a backup's flow-control state travels the ack channel instead.  Any
+    // emission by a non-primary also taints the service flow so the
+    // redirector can flag the leak if the segment transits client-ward.
+    HN_INVARIANT(backup_silence,
+                 config_.mode == tcp::ReplicaMode::primary,
+                 "non-primary replica emitted seq %u (%zu payload bytes) on %s",
+                 segment.header.seq, segment.payload.size(),
+                 connection.key().to_string().c_str());
+#if HYDRANET_INVARIANTS
+    if (config_.mode != tcp::ReplicaMode::primary) {
+      verify::mark_backup_emission(verify::flow_key(
+          config_.service.address.value(), config_.service.port));
+    }
+#endif
+    return true;
+  }
 
   // Backup: strip the flow-control fields and pass them up the chain; the
   // packet itself is discarded (never reaches the client).

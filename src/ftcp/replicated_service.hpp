@@ -130,6 +130,13 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   };
   const GateStats& gate_stats() const { return gate_stats_; }
 
+#if HYDRANET_INVARIANTS
+  /// Negative-test hook: lets this replica emit segments even as a backup,
+  /// deliberately violating §4.3 backup silence so tests can observe the
+  /// invariant checker fire (and the redirector flag the leaked flow).
+  void test_force_emission(bool force) { test_force_emission_ = force; }
+#endif
+
  private:
   struct ConnState {
     bool has_info = false;
@@ -184,6 +191,9 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   bool shut_down_ = false;
   std::uint64_t signals_raised_ = 0;
   GateStats gate_stats_;
+#if HYDRANET_INVARIANTS
+  bool test_force_emission_ = false;
+#endif
 };
 
 }  // namespace hydranet::ftcp

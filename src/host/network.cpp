@@ -6,6 +6,7 @@
 #include "common/inline_function.hpp"
 #include "common/logging.hpp"
 #include "common/packet_buffer.hpp"
+#include "verify/invariant.hpp"
 
 namespace hydranet::host {
 
@@ -130,6 +131,14 @@ void Network::publish_metrics() {
                        scheduler_.wheel_inserts());
   metrics_.set_counter("scheduler", "scheduler.wheel.cascades",
                        scheduler_.wheel_cascades());
+  // Protocol-invariant violation counters (process-wide, like the datapath
+  // counters; all zero in a healthy run).  Metric names come from the
+  // verify component so the catalogue has a single source of truth.
+  for (std::size_t i = 0; i < verify::kCategoryCount; ++i) {
+    auto category = static_cast<verify::Category>(i);
+    metrics_.set_counter("verify", verify::metric_name(category),
+                         verify::violation_count(category));
+  }
   for (const auto& link : links_) {
     const link::Link::Stats& s = link->stats();
     const std::string& node = link->label();

@@ -6,7 +6,7 @@
 namespace hydranet::mgmt {
 
 namespace {
-constexpr const char* kLog = "mgmt.host";
+constexpr const char* kLog = "mgmt-host";
 }
 
 HostAgent::HostAgent(host::Host& host, net::Ipv4Address redirector,

@@ -8,7 +8,7 @@
 namespace hydranet::mgmt {
 
 namespace {
-constexpr const char* kLog = "mgmt.redirector";
+constexpr const char* kLog = "mgmt-redirector";
 }
 
 RedirectorAgent::RedirectorAgent(host::Host& router,

@@ -5,6 +5,7 @@
 #include "common/bytes.hpp"
 #include "common/logging.hpp"
 #include "net/tunnel.hpp"
+#include "verify/invariant.hpp"
 
 namespace hydranet::redirector {
 
@@ -12,6 +13,36 @@ namespace {
 constexpr const char* kLog = "redirector";
 constexpr std::size_t kMaxFragmentDecisions = 4096;
 }  // namespace
+
+#if HYDRANET_INVARIANTS
+void Redirector::check_table_invariant(const net::Endpoint& service,
+                                       const ServiceEntry& entry) const {
+  // §4.2: a fault-tolerant service has exactly one primary — the replica
+  // the failover protocol elected.  A primary doubling as a backup (or a
+  // duplicated backup) would double-deliver the client stream.
+  bool primary_in_backups =
+      std::find(entry.backups.begin(), entry.backups.end(), entry.primary) !=
+      entry.backups.end();
+  HN_INVARIANT(redirector_table, !primary_in_backups,
+               "service %s: primary %s is also listed as a backup",
+               service.to_string().c_str(), entry.primary.to_string().c_str());
+  for (std::size_t i = 0; i < entry.backups.size(); ++i) {
+    for (std::size_t j = i + 1; j < entry.backups.size(); ++j) {
+      HN_INVARIANT(redirector_table, entry.backups[i] != entry.backups[j],
+                   "service %s: backup %s listed twice",
+                   service.to_string().c_str(),
+                   entry.backups[i].to_string().c_str());
+    }
+  }
+}
+
+void Redirector::test_corrupt_table(const net::Endpoint& service) {
+  auto it = table_.find(service);
+  if (it == table_.end()) return;
+  it->second.backups.push_back(it->second.primary);
+  check_table_invariant(it->first, it->second);
+}
+#endif
 
 Redirector::Redirector(host::Host& router) : router_(router) {
   router_.ip().set_forward_hook(
@@ -24,6 +55,9 @@ void Redirector::install_service(const net::Endpoint& service,
   table_[service] = ServiceEntry{mode, host_server, {}};
   HLOG(info, kLog) << "install " << service.to_string() << " -> "
                    << host_server.to_string();
+#if HYDRANET_INVARIANTS
+  check_table_invariant(service, table_[service]);
+#endif
 }
 
 Status Redirector::add_backup(const net::Endpoint& service,
@@ -37,6 +71,9 @@ Status Redirector::add_backup(const net::Endpoint& service,
     return Errc::already_connected;
   }
   backups.push_back(backup);
+#if HYDRANET_INVARIANTS
+  check_table_invariant(service, it->second);
+#endif
   return Status::success();
 }
 
@@ -52,11 +89,17 @@ Status Redirector::remove_replica(const net::Endpoint& service,
     }
     entry.primary = entry.backups.front();
     entry.backups.erase(entry.backups.begin());
+#if HYDRANET_INVARIANTS
+    check_table_invariant(service, entry);
+#endif
     return Status::success();
   }
   auto b = std::find(entry.backups.begin(), entry.backups.end(), replica);
   if (b == entry.backups.end()) return Errc::not_found;
   entry.backups.erase(b);
+#if HYDRANET_INVARIANTS
+  check_table_invariant(service, entry);
+#endif
   return Status::success();
 }
 
@@ -71,6 +114,9 @@ Status Redirector::set_primary(const net::Endpoint& service,
   entry.backups.erase(b);
   entry.backups.insert(entry.backups.begin(), entry.primary);
   entry.primary = new_primary;
+#if HYDRANET_INVARIANTS
+  check_table_invariant(service, entry);
+#endif
   return Status::success();
 }
 
@@ -88,6 +134,25 @@ bool Redirector::on_transit(const net::Datagram& datagram) {
       datagram.header.protocol != net::IpProto::udp) {
     return false;
   }
+
+#if HYDRANET_INVARIANTS
+  // §4.3 backup silence, observed from the network: traffic SOURCED at a
+  // replicated service (heading client-ward past this redirector) must
+  // come from the primary.  ft-TCP taints a service flow whenever a
+  // backup emits; a tainted flow transiting here is a leak.
+  if (datagram.header.fragment_offset == 0 && datagram.payload.size() >= 4) {
+    auto src_port = static_cast<std::uint16_t>(
+        (datagram.payload[0] << 8) | datagram.payload[1]);
+    net::Endpoint source{datagram.header.src, src_port};
+    if (table_.find(source) != table_.end()) {
+      HN_INVARIANT(backup_leak,
+                   !verify::backup_emitted(verify::flow_key(
+                       source.address.value(), source.port)),
+                   "backup-originated traffic for %s forwarded client-ward",
+                   source.to_string().c_str());
+    }
+  }
+#endif
 
   FragmentKey frag_key{datagram.header.src.value(), datagram.header.dst.value(),
                        datagram.header.identification,

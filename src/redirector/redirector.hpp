@@ -75,7 +75,20 @@ class Redirector {
 
   host::Host& router() { return router_; }
 
+#if HYDRANET_INVARIANTS
+  /// Negative-test hook: duplicates the primary into the backup list and
+  /// re-runs the table invariant (redirector_table) so tests can observe
+  /// the checker fire.
+  void test_corrupt_table(const net::Endpoint& service);
+#endif
+
  private:
+#if HYDRANET_INVARIANTS
+  /// Exactly-one-primary rule: the primary never doubles as a backup and
+  /// no backup is listed twice.  Run after every table mutation.
+  void check_table_invariant(const net::Endpoint& service,
+                             const ServiceEntry& entry) const;
+#endif
   /// The forwarding hook: true = datagram consumed (redirected).
   bool on_transit(const net::Datagram& datagram);
   void tunnel_to(const net::Datagram& datagram, const ServiceEntry& entry);

@@ -4,7 +4,27 @@
 #include <bit>
 #include <cassert>
 
+#include "verify/invariant.hpp"
+
 namespace hydranet::sim {
+
+#if HYDRANET_INVARIANTS
+void Scheduler::check_execution(TimePoint t, std::uint64_t seq) {
+  HN_INVARIANT(sched_order, !any_executed_ || t >= last_exec_time_,
+               "event fire time regressed: %lld ns after %lld ns",
+               static_cast<long long>(t.ns),
+               static_cast<long long>(last_exec_time_.ns));
+  HN_INVARIANT(sched_order,
+               !any_executed_ || t > last_exec_time_ || seq > last_exec_seq_,
+               "FIFO tie broken at %lld ns: seq %llu executed after %llu",
+               static_cast<long long>(t.ns),
+               static_cast<unsigned long long>(seq),
+               static_cast<unsigned long long>(last_exec_seq_));
+  any_executed_ = true;
+  last_exec_time_ = t;
+  last_exec_seq_ = seq;
+}
+#endif
 
 Scheduler::Scheduler() { staging_.reserve(kStagingCap); }
 
@@ -114,6 +134,9 @@ void Scheduler::execute_staging(std::size_t index) {
   staging_head_ = index + 1;
   Slot& slot = slots_[entry.slot];
   now_ = entry.time;
+#if HYDRANET_INVARIANTS
+  check_execution(entry.time, entry.seq);
+#endif
   Callback cb = std::move(slot.cb);
   release_slot(entry.slot);
   cb();
@@ -204,6 +227,9 @@ std::size_t Scheduler::drain_due_bucket(std::uint32_t slot_index,
     Slot& slot = slots_[entry.slot];
     if (!slot.armed || slot.generation != entry.generation) continue;
     now_ = entry.time;
+#if HYDRANET_INVARIANTS
+    check_execution(entry.time, entry.seq);
+#endif
     // Move the callback out before recycling the slot: it may re-schedule
     // (growing the pool) or cancel other timers re-entrantly.
     Callback cb = std::move(slot.cb);

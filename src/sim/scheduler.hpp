@@ -105,6 +105,14 @@ class Scheduler {
   std::uint64_t wheel_inserts() const { return wheel_inserts_; }
   std::uint64_t wheel_cascades() const { return wheel_cascades_; }
 
+#if HYDRANET_INVARIANTS
+  /// Execution-order invariant: every executed event's (time, seq) pair
+  /// must be nondecreasing in time with FIFO (ascending-seq) ties.  Called
+  /// from the drain paths; public so negative tests can feed a regressed
+  /// pair directly.
+  void check_execution(TimePoint t, std::uint64_t seq);
+#endif
+
  private:
   static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
   static constexpr int kLevelBits = 6;
@@ -210,6 +218,11 @@ class Scheduler {
   std::size_t staging_head_ = 0;
   std::uint64_t wheel_inserts_ = 0;
   std::uint64_t wheel_cascades_ = 0;
+#if HYDRANET_INVARIANTS
+  TimePoint last_exec_time_{};
+  std::uint64_t last_exec_seq_ = 0;
+  bool any_executed_ = false;
+#endif
 };
 
 }  // namespace hydranet::sim

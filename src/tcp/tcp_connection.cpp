@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "tcp/tcp_stack.hpp"
+#include "verify/invariant.hpp"
 
 namespace hydranet::tcp {
 
@@ -304,19 +305,94 @@ void TcpConnection::notify_writable() {
 void TcpConnection::on_segment(const net::TcpSegment& segment) {
   stats_.segments_received++;
   if (state_ == TcpState::closed) return;
+#if HYDRANET_INVARIANTS
+  const std::uint64_t rcv_nxt_before = rcv_nxt_;
+  const std::uint64_t snd_una_before = snd_una_;
+#endif
   if (state_ == TcpState::syn_sent) {
     process_syn_sent(segment);
-    return;
+  } else if (g_fastpath_enabled && try_fast_path(segment)) {
+    stats_.fastpath_hits++;
+  } else {
+    if (g_fastpath_enabled) stats_.fastpath_misses++;
+    process_general(segment);
   }
-  if (g_fastpath_enabled) {
-    if (try_fast_path(segment)) {
-      stats_.fastpath_hits++;
-      return;
-    }
-    stats_.fastpath_misses++;
-  }
-  process_general(segment);
+#if HYDRANET_INVARIANTS
+  // Post-state sanity, identical for the fast and slow paths: whatever
+  // route the segment took, the stream pointers must agree on these rules.
+  check_stream_invariants(rcv_nxt_before, snd_una_before);
+#endif
 }
+
+#if HYDRANET_INVARIANTS
+void TcpConnection::check_stream_invariants(std::uint64_t rcv_nxt_before,
+                                            std::uint64_t snd_una_before) const {
+  HN_INVARIANT(tcp_stream, snd_una_ <= snd_nxt_ && snd_nxt_ <= snd_max_,
+               "send pointers out of order on %s: una=%llu nxt=%llu max=%llu",
+               key_.to_string().c_str(),
+               static_cast<unsigned long long>(snd_una_),
+               static_cast<unsigned long long>(snd_nxt_),
+               static_cast<unsigned long long>(snd_max_));
+  HN_INVARIANT(tcp_stream, snd_una_ >= snd_una_before,
+               "snd_una regressed on %s: %llu -> %llu",
+               key_.to_string().c_str(),
+               static_cast<unsigned long long>(snd_una_before),
+               static_cast<unsigned long long>(snd_una_));
+  HN_INVARIANT(tcp_stream, rcv_nxt_ >= rcv_nxt_before,
+               "rcv_nxt regressed on %s: %llu -> %llu",
+               key_.to_string().c_str(),
+               static_cast<unsigned long long>(rcv_nxt_before),
+               static_cast<unsigned long long>(rcv_nxt_));
+  HN_INVARIANT(tcp_stream,
+               readable_.size() + undeposited_in_order() <=
+                   options_.recv_buffer_capacity,
+               "receive buffer overrun on %s: %zu buffered > %zu capacity",
+               key_.to_string().c_str(),
+               readable_.size() + undeposited_in_order(),
+               options_.recv_buffer_capacity);
+}
+
+void TcpConnection::check_gate_invariants() {
+  // Re-derive the authoritative gate marks (side-effect-free mirror of the
+  // deposit/transmit limits) and confirm neither stream ran past them: a
+  // cached GateMarks snapshot may skip hook calls but must never be
+  // *looser* than the gate it mirrors.
+  if (hooks_ == nullptr || state_ == TcpState::closed) return;
+  GateMarks fresh;
+  if (!hooks_->gate_marks(*this, fresh)) return;
+  HN_INVARIANT(gate_deposit,
+               fresh.deposit_unbounded ||
+                   seq_to_off_rcv(fresh.deposit_mark) >= rcv_nxt_,
+               "deposited to %llu past the successor ACK mark %llu on %s",
+               static_cast<unsigned long long>(rcv_nxt_),
+               static_cast<unsigned long long>(
+                   seq_to_off_rcv(fresh.deposit_mark)),
+               key_.to_string().c_str());
+  HN_INVARIANT(gate_send,
+               fresh.transmit_unbounded ||
+                   seq_to_off_snd(fresh.transmit_mark) >= snd_nxt_,
+               "transmitted to %llu past the successor SEQ mark %llu on %s",
+               static_cast<unsigned long long>(snd_nxt_),
+               static_cast<unsigned long long>(
+                   seq_to_off_snd(fresh.transmit_mark)),
+               key_.to_string().c_str());
+}
+
+void TcpConnection::test_corrupt_gate_cache() {
+  gate_marks_.deposit_unbounded = true;
+  gate_marks_.transmit_unbounded = true;
+  gate_marks_.cached_checks = nullptr;
+  deposit_cache_valid_ = true;
+  transmit_cache_valid_ = true;
+}
+
+void TcpConnection::test_deposit_out_of_window(std::size_t len) {
+  const std::uint64_t rcv_nxt_before = rcv_nxt_;
+  readable_.insert(readable_.end(), len, std::uint8_t{0});
+  rcv_nxt_ += len;
+  check_stream_invariants(rcv_nxt_before, snd_una_);
+}
+#endif
 
 bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
   const net::TcpHeader& h = segment.header;
@@ -770,6 +846,9 @@ void TcpConnection::deposit_in_order() {
     notify_readable();
   }
   maybe_consume_fin();
+#if HYDRANET_INVARIANTS
+  check_gate_invariants();
+#endif
 }
 
 void TcpConnection::maybe_consume_fin() {
@@ -917,6 +996,10 @@ void TcpConnection::output() {
   if (snd_nxt_ < data_end && snd_wnd_ == 0 && snd_una_ == snd_nxt_) {
     arm_probe();
   }
+
+#if HYDRANET_INVARIANTS
+  check_gate_invariants();
+#endif
 }
 
 void TcpConnection::send_segment(std::uint64_t seq_off, BytesView payload,

@@ -157,6 +157,16 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t seq_to_off_snd(std::uint32_t seq) const;
   std::uint64_t seq_to_off_rcv(std::uint32_t seq) const;
 
+#if HYDRANET_INVARIANTS
+  /// Negative-test hook: forges an unbounded cached gate snapshot so the
+  /// fast paths skip the authoritative gate — the stale-cache corruption
+  /// the gate_deposit/gate_send invariants exist to catch.
+  void test_corrupt_gate_cache();
+  /// Negative-test hook: deposits `len` fabricated bytes past the granted
+  /// window, then runs the post-segment stream checks (tcp_stream).
+  void test_deposit_out_of_window(std::size_t len);
+#endif
+
  private:
   friend class TcpStack;
 
@@ -174,6 +184,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// handles them completely, with effects identical to the full state
   /// machine.  Returns false (connection untouched) on anything else.
   bool try_fast_path(const net::TcpSegment& segment);
+#if HYDRANET_INVARIANTS
+  /// Post-segment stream sanity (both fast and slow paths).
+  void check_stream_invariants(std::uint64_t rcv_nxt_before,
+                               std::uint64_t snd_una_before) const;
+  /// Confirms neither stream ran past the authoritative gate marks (the
+  /// cached GateMarks snapshot must never be looser than the gate).
+  void check_gate_invariants();
+#endif
   void process_syn_sent(const net::TcpSegment& segment);
   void process_general(const net::TcpSegment& segment);
   bool sequence_acceptable(const net::TcpSegment& segment) const;

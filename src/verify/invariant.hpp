@@ -1,0 +1,141 @@
+// Compiled-in protocol-invariant checker (runtime layer of the
+// correctness-tooling pass; see DESIGN.md §9 for the invariant catalogue).
+//
+// The paper's §4.3 gating rules, backup silence, and atomic delivery are
+// *continuous* properties: a fast-path or scheduler change can violate them
+// between the samples a spot test takes and still pass the suite.  The
+// HN_INVARIANT macro threads those properties through the hot paths
+// themselves, gated by the HYDRANET_INVARIANTS CMake option so Release
+// benchmark builds compile the checks out entirely (the condition is not
+// even evaluated).
+//
+// This component is dependency-free by design: src/common/result.hpp must
+// be able to include it, so it cannot pull in stats, sim, or logging.
+// Violation counters live here as raw integers; the host layer mirrors
+// them into the stats registry at metrics-publish time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hydranet::verify {
+
+/// Invariant categories, one per protocol property the checker enforces.
+/// Each maps to a paper clause (or an implementation-level safety rule);
+/// the mapping is catalogued in DESIGN.md §9.
+enum class Category : std::uint8_t {
+  gate_deposit,      ///< §4.3 receive gate: deposit byte k iff succ ACK# > k
+  gate_send,         ///< §4.3 send gate: emit byte k iff succ SEQ# covers k
+  backup_silence,    ///< §4.3: backups never emit segments to the wire
+  backup_leak,       ///< §4.2: no backup-originated traffic forwarded client-ward
+  redirector_table,  ///< §4.2: exactly one primary per fault-tolerant service
+  tcp_stream,        ///< SEQ/ACK window sanity, rcv_nxt/snd_una monotonicity
+  sched_order,       ///< nondecreasing event fire times, FIFO ties
+  buffer_alias,      ///< PacketBuffer refcount / slice-lifetime aliasing rules
+  result_access,     ///< Result::value() on an error (promoted from assert)
+};
+
+inline constexpr std::size_t kCategoryCount = 9;
+
+/// Stable short name ("gate_deposit", ...) for logs and tests.
+const char* to_string(Category category);
+
+/// Full stats-registry counter name for a category, e.g.
+/// "invariant.violations.gate_deposit".  The names are string literals so
+/// the metric-name lint (tools/run_static.py) can cross-check them against
+/// the DESIGN.md §8 table.
+const char* metric_name(Category category);
+
+/// One recorded invariant violation.
+struct Violation {
+  Category category = Category::gate_deposit;
+  const char* file = "";
+  int line = 0;
+  std::string condition;  ///< stringised failing expression
+  std::string message;    ///< formatted detail from the HN_INVARIANT call
+};
+
+/// Violation sink.  The default (empty) sink prints the violation to
+/// stderr and aborts — an invariant breach is a protocol bug, not a
+/// recoverable condition.  Tests install a collector (see ScopedCollector)
+/// to assert that deliberately corrupted state trips the right category.
+using Sink = std::function<void(const Violation&)>;
+
+/// Installs `sink` and returns the previous one.  Passing an empty
+/// function restores the abort-on-violation default.
+Sink set_sink(Sink sink);
+
+/// Reports a violation: bumps the category counter, then hands the
+/// violation to the sink (or prints and aborts when no sink is set).
+/// Called by HN_INVARIANT; not meant to be called directly outside tests.
+void report(Category category, const char* file, int line,
+            const char* condition, const char* format, ...)
+    __attribute__((format(printf, 5, 6)));
+
+/// Number of violations reported for `category` since start/reset.
+std::uint64_t violation_count(Category category);
+
+/// Total violations across all categories.
+std::uint64_t total_violations();
+
+/// Resets all counters to zero (test isolation).
+void reset_counters();
+
+/// RAII collector sink: while alive, violations are recorded instead of
+/// aborting; the previous sink is restored on destruction.
+class ScopedCollector {
+ public:
+  ScopedCollector();
+  ~ScopedCollector();
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+  const std::vector<Violation>& violations() const { return collected_; }
+  std::size_t count(Category category) const;
+  void clear() { collected_.clear(); }
+
+ private:
+  Sink previous_;
+  std::vector<Violation> collected_;
+};
+
+// ---- backup-emission taint registry -----------------------------------
+//
+// The redirector cannot tell from a transit datagram's (virtual) source
+// address which physical replica emitted it, so ft-TCP records every
+// backup emission here, keyed by service endpoint, and the redirector
+// cross-checks any service-sourced datagram it forwards client-ward.
+// Only compiled-in alongside the invariant checks.
+
+/// Key for a service flow: the service's IPv4 address and port.
+std::uint64_t flow_key(std::uint32_t service_ip, std::uint16_t service_port);
+
+/// Records that a backup replica emitted a segment for this service flow.
+void mark_backup_emission(std::uint64_t key);
+
+/// True when a backup emission was recorded for this service flow.
+bool backup_emitted(std::uint64_t key);
+
+/// Clears the taint registry (test isolation).
+void clear_backup_emissions();
+
+}  // namespace hydranet::verify
+
+// HN_INVARIANT(category, cond, fmt, ...): check `cond`; on failure report
+// a violation of `category` with a printf-formatted detail message.  When
+// HYDRANET_INVARIANTS is off the macro expands to nothing and `cond` is
+// not evaluated, so gate re-derivations and other check-only work compile
+// out of the Release hot path.
+#if HYDRANET_INVARIANTS
+#define HN_INVARIANT(category, cond, ...)                                   \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::hydranet::verify::report(::hydranet::verify::Category::category,    \
+                                 __FILE__, __LINE__, #cond, __VA_ARGS__);   \
+    }                                                                       \
+  } while (0)
+#else
+#define HN_INVARIANT(category, cond, ...) ((void)0)
+#endif
