@@ -25,6 +25,7 @@
 #include "host/network.hpp"
 #include "redirector/redirector.hpp"
 #include "testbed/testbed.hpp"
+#include "trace2/recorder.hpp"
 
 namespace {
 
@@ -59,6 +60,9 @@ struct ScenarioResult {
   std::uint64_t fastpath_hits = 0;
   std::uint64_t fastpath_misses = 0;
   std::uint64_t gate_cached_checks = 0;
+  // Causal-tracer overhead probe (0 = tracing not installed).
+  std::size_t trace_sample = 0;
+  std::uint64_t spans_recorded = 0;
 
   double fastpath_hit_rate() const {
     std::uint64_t total = fastpath_hits + fastpath_misses;
@@ -179,10 +183,12 @@ ScenarioResult run_scenario(const std::string& name, int backups,
 /// counts wire segments per wall second.  This is the workload the header
 /// prediction fast path and the ftcp gate cache are built for.
 ScenarioResult run_tcp_scenario(const std::string& name, int backups,
-                                std::size_t total_bytes) {
+                                std::size_t total_bytes,
+                                std::size_t trace_sample = 0) {
   ScenarioResult result;
   result.name = name;
   result.payload_bytes = 1024;
+  result.trace_sample = trace_sample;
 
   testbed::TestbedConfig config;
   config.setup =
@@ -201,6 +207,18 @@ ScenarioResult run_tcp_scenario(const std::string& name, int backups,
   tx.total_bytes = total_bytes;
   tx.write_size = 1024;
   apps::TtcpTransmitter transmitter(bed.client(), tx);
+
+  // Tracing-overhead scenarios: install a recorder for the duration of
+  // the run, exactly as `hydranet-sim --trace --trace-sample=N` would.
+  std::unique_ptr<trace2::Recorder> recorder;
+  std::unique_ptr<trace2::ScopedRecorder> installed;
+  if (trace_sample > 0 && trace2::kEnabled) {
+    trace2::Recorder::Config trace_config;
+    trace_config.sample_every = trace_sample;
+    recorder = std::make_unique<trace2::Recorder>(bed.net().scheduler(),
+                                                  trace_config);
+    installed = std::make_unique<trace2::ScopedRecorder>(*recorder);
+  }
 
   reset_datapath_counters();
   const std::uint64_t heap_before = inline_function_heap_allocs();
@@ -240,6 +258,7 @@ ScenarioResult run_tcp_scenario(const std::string& name, int backups,
   result.wheel_inserts = bed.net().scheduler().wheel_inserts() - inserts_before;
   result.wheel_cascades =
       bed.net().scheduler().wheel_cascades() - cascades_before;
+  if (recorder != nullptr) result.spans_recorded = recorder->spans_recorded();
   if (!transmitter.report().finished) {
     std::fprintf(stderr, "warning: %s did not finish\n", name.c_str());
   }
@@ -286,6 +305,11 @@ void write_json(const std::vector<ScenarioResult>& results,
                  static_cast<unsigned long long>(r.wheel_inserts));
     std::fprintf(f, "        \"wheel_cascades\": %llu\n",
                  static_cast<unsigned long long>(r.wheel_cascades));
+    std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"trace\": {\n");
+    std::fprintf(f, "        \"sample_every\": %zu,\n", r.trace_sample);
+    std::fprintf(f, "        \"spans_recorded\": %llu\n",
+                 static_cast<unsigned long long>(r.spans_recorded));
     std::fprintf(f, "      },\n");
     std::fprintf(f, "      \"tcp\": {\n");
     std::fprintf(f, "        \"fastpath_hits\": %llu,\n",
@@ -338,13 +362,24 @@ int main(int argc, char** argv) {
   results.push_back(run_tcp_scenario("tcp_bulk_one_hop", -1, packets * 1024));
   results.push_back(
       run_tcp_scenario("tcp_ft_chain_1_backup", 1, packets * 1024));
+#if HYDRANET_TRACING
+  // Tracer-overhead column: the same ft chain with the causal tracer
+  // installed at sample=1 (every root) and sample=64 (1-in-64 roots).
+  // Only built when the tracer is compiled in; tracing-OFF builds keep
+  // the scenario list identical to the committed baseline.
+  results.push_back(
+      run_tcp_scenario("tcp_ft_chain_trace1", 1, packets * 1024, 1));
+  results.push_back(
+      run_tcp_scenario("tcp_ft_chain_trace64", 1, packets * 1024, 64));
+#endif
 
   for (const ScenarioResult& r : results) {
     std::printf(
         "%-22s replicas=%d packets=%zu wall=%.3fs rate=%.0f pkt/s "
         "copied=%lluB (naive fan-out would copy %lluB) "
         "inner_serializations=%llu sched_heap=%llu "
-        "wheel=%llu/%llu fastpath=%.1f%% gate_cached=%llu\n",
+        "wheel=%llu/%llu fastpath=%.1f%% gate_cached=%llu"
+        "%s\n",
         r.name.c_str(), r.replicas, r.packets, r.wall_seconds,
         r.packets_per_wall_second,
         static_cast<unsigned long long>(r.copied_bytes),
@@ -354,7 +389,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.wheel_inserts),
         static_cast<unsigned long long>(r.wheel_cascades),
         100.0 * r.fastpath_hit_rate(),
-        static_cast<unsigned long long>(r.gate_cached_checks));
+        static_cast<unsigned long long>(r.gate_cached_checks),
+        r.trace_sample > 0
+            ? (" trace_sample=" + std::to_string(r.trace_sample) + " spans=" +
+               std::to_string(r.spans_recorded))
+                  .c_str()
+            : "");
   }
   if (!json_path.empty()) write_json(results, json_path);
   return 0;

@@ -81,7 +81,9 @@ Bytes PacketBuffer::flatten_copy() const {
 PacketBuffer PacketBuffer::flattened() const {
   if (contiguous()) return *this;
   g_datapath_counters.flattens++;
-  return PacketBuffer(flatten_copy());
+  PacketBuffer flat(flatten_copy());
+  flat.trace_ctx = trace_ctx;
+  return flat;
 }
 
 void CowBytes::ensure_unique() {

@@ -48,6 +48,11 @@ class PacketBuffer {
  public:
   PacketBuffer() = default;
 
+  /// Causal-trace context riding with the frame (src/trace2).  Purely
+  /// simulator-side metadata: never serialised, never compared, copied
+  /// along with the buffer.  0 = untraced.
+  std::uint64_t trace_ctx = 0;
+
   /// Adopts `data` as backing storage — no byte copy.
   explicit PacketBuffer(Bytes data);
 

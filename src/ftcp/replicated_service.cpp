@@ -4,6 +4,8 @@
 
 #include "common/logging.hpp"
 #include "stats/timeline.hpp"
+#include "trace2/recorder.hpp"
+#include "trace2/span.hpp"
 #include "verify/invariant.hpp"
 
 namespace hydranet::ftcp {
@@ -139,8 +141,10 @@ std::uint32_t ReplicatedService::deposit_limit(
     }
   }
   if (state != nullptr) {
-    track_gate(state->deposit_blocked_since, gate_stats_.deposit_stalls,
-               gate_stats_.deposit_stall_ms, lt(limit, in_order_end));
+    track_gate(state->deposit_blocked_since, state->deposit_wait_ctx,
+               gate_stats_.deposit_stalls, gate_stats_.deposit_stall_ms,
+               lt(limit, in_order_end), trace2::span::kFtcpDepositWait,
+               connection.key().remote.port);
   }
   // §4.3 receive gate: with a live successor report, byte k may be
   // deposited only if the successor acknowledged past it — the limit must
@@ -170,9 +174,10 @@ std::uint32_t ReplicatedService::transmit_limit(
   if (state != nullptr) {
     // The send gate only stalls anything when there is queued data it is
     // holding back; a closed gate with nothing to send is not a stall.
-    track_gate(state->send_blocked_since, gate_stats_.send_stalls,
-               gate_stats_.send_stall_ms,
-               lt(limit, window_limit) && connection.unsent_bytes() > 0);
+    track_gate(state->send_blocked_since, state->send_wait_ctx,
+               gate_stats_.send_stalls, gate_stats_.send_stall_ms,
+               lt(limit, window_limit) && connection.unsent_bytes() > 0,
+               trace2::span::kFtcpSendWait, connection.key().remote.port);
   }
   // §4.3 send gate: byte k may go out only if the successor's own SEQ#
   // already covers it — the limit must never pass succ_snd_nxt.
@@ -220,14 +225,22 @@ bool ReplicatedService::gate_marks(const tcp::TcpConnection& connection,
 }
 
 void ReplicatedService::track_gate(
-    std::optional<sim::TimePoint>& blocked_since, std::uint64_t& stalls,
-    stats::Histogram& stall_ms, bool binding) {
+    std::optional<sim::TimePoint>& blocked_since, std::uint64_t& wait_ctx,
+    std::uint64_t& stalls, stats::Histogram& stall_ms, bool binding,
+    const char* span_name, std::uint32_t conn_tag) {
   if (binding && !blocked_since) {
     blocked_since = host_.scheduler().now();
+    // Remember which delivery hit the closed gate; the whole stall
+    // interval becomes one retroactive span under it when it reopens.
+    wait_ctx = trace2::current_ctx();
     stalls++;
   } else if (!binding && blocked_since) {
     stall_ms.observe((host_.scheduler().now() - *blocked_since).millis());
+    std::uint64_t span = trace2::begin_child(wait_ctx, host_.name());
+    trace2::commit_at(span, wait_ctx, span_name, *blocked_since,
+                      host_.scheduler().now(), conn_tag, 0);
     blocked_since.reset();
+    wait_ctx = 0;
   }
 }
 
@@ -337,10 +350,14 @@ void ReplicatedService::on_connection_closed(tcp::TcpConnection& connection) {
   if (it != connections_.end()) {
     // Close out any stall interval still open on this connection so its
     // duration lands in the histograms.
-    track_gate(it->second.deposit_blocked_since, gate_stats_.deposit_stalls,
-               gate_stats_.deposit_stall_ms, /*binding=*/false);
-    track_gate(it->second.send_blocked_since, gate_stats_.send_stalls,
-               gate_stats_.send_stall_ms, /*binding=*/false);
+    track_gate(it->second.deposit_blocked_since, it->second.deposit_wait_ctx,
+               gate_stats_.deposit_stalls, gate_stats_.deposit_stall_ms,
+               /*binding=*/false, trace2::span::kFtcpDepositWait,
+               connection.key().remote.port);
+    track_gate(it->second.send_blocked_since, it->second.send_wait_ctx,
+               gate_stats_.send_stalls, gate_stats_.send_stall_ms,
+               /*binding=*/false, trace2::span::kFtcpSendWait,
+               connection.key().remote.port);
     connections_.erase(it);
   }
 }
@@ -373,7 +390,19 @@ void ReplicatedService::report(const tcp::ConnectionKey& key,
   message.snd_nxt = snd_nxt;
   message.rcv_nxt = rcv_nxt;
   message.passthrough = passthrough;
-  (void)channel_.send(*predecessor_, message);
+  // Ack-report span: a flow-control report leaves on the ack channel.
+  // The UDP datagram it becomes inherits this span ambiently (IpStack
+  // tags outbound datagrams with the current context), so gate movement
+  // on the predecessor links back to the segment that triggered it here.
+  std::uint64_t parent = trace2::current_ctx();
+  std::uint64_t span = trace2::begin_child(parent, host_.name());
+  sim::TimePoint span_start = host_.scheduler().now();
+  {
+    trace2::ScopedCtx ctx(span != 0 ? span : parent);
+    (void)channel_.send(*predecessor_, message);
+  }
+  trace2::commit(span, parent, trace2::span::kFtcpAckReport, span_start,
+                 snd_nxt, rcv_nxt);
   if (!passthrough) {
     ConnState& state = state_for(key);
     state.reported = true;

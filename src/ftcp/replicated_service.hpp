@@ -155,12 +155,19 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
     /// Open stall intervals (set while the corresponding gate binds).
     std::optional<sim::TimePoint> deposit_blocked_since;
     std::optional<sim::TimePoint> send_blocked_since;
+    /// Trace context captured when each stall opened, so the stall span
+    /// committed at close parents into the delivery that hit the gate.
+    std::uint64_t deposit_wait_ctx = 0;
+    std::uint64_t send_wait_ctx = 0;
   };
 
   /// Opens/closes one gate's stall interval as its binding state flips.
+  /// A closing interval is also committed as a `span_name` span tagged
+  /// with the connection's client port (`conn_tag`).
   void track_gate(std::optional<sim::TimePoint>& blocked_since,
-                  std::uint64_t& stalls, stats::Histogram& stall_ms,
-                  bool binding);
+                  std::uint64_t& wait_ctx, std::uint64_t& stalls,
+                  stats::Histogram& stall_ms, bool binding,
+                  const char* span_name, std::uint32_t conn_tag);
 
   void raise_failure_signal(tcp::TcpConnection& connection, ConnState& state);
 

@@ -6,6 +6,7 @@
 #include "common/inline_function.hpp"
 #include "common/logging.hpp"
 #include "common/packet_buffer.hpp"
+#include "trace2/recorder.hpp"
 #include "verify/invariant.hpp"
 
 namespace hydranet::host {
@@ -59,6 +60,14 @@ void Host::publish_metrics(stats::Registry& registry) const {
   registry.set_counter(name_, "tcp.sack_retransmits", tcp.sack_retransmits);
   registry.set_counter(name_, "tcp.fastpath.hits", tcp.fastpath_hits);
   registry.set_counter(name_, "tcp.fastpath.misses", tcp.fastpath_misses);
+  // Derived gauge: fraction of inbound segments the header-prediction fast
+  // path handled (0 when no segments were classified yet).
+  std::uint64_t classified = tcp.fastpath_hits + tcp.fastpath_misses;
+  registry.set_gauge(name_, "tcp.fastpath.hit_rate",
+                     classified == 0
+                         ? 0.0
+                         : static_cast<double>(tcp.fastpath_hits) /
+                               static_cast<double>(classified));
   registry.set_histogram(name_, "tcp.cwnd_bytes", tcp.cwnd_bytes);
 }
 
@@ -139,6 +148,18 @@ void Network::publish_metrics() {
     metrics_.set_counter("verify", verify::metric_name(category),
                          verify::violation_count(category));
   }
+#if HYDRANET_TRACING
+  // Flight-recorder health, published only while a recorder is installed
+  // (the tracer itself is opt-in; metric names still lint against §8).
+  if (const trace2::Recorder* recorder = trace2::recorder()) {
+    metrics_.set_counter("trace", "trace.spans_recorded",
+                         recorder->spans_recorded());
+    metrics_.set_counter("trace", "trace.spans_dropped",
+                         recorder->spans_dropped());
+    metrics_.set_counter("trace", "trace.roots_sampled",
+                         recorder->roots_sampled());
+  }
+#endif
   for (const auto& link : links_) {
     const link::Link::Stats& s = link->stats();
     const std::string& node = link->label();

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "net/tunnel.hpp"
+#include "trace2/recorder.hpp"
 
 namespace hydranet::ip {
 
@@ -142,6 +143,12 @@ Status IpStack::send_with_ttl(net::Datagram datagram, std::uint8_t ttl) {
   }
   datagram.header.ttl = ttl;
   datagram.header.identification = next_identification_++;
+  // No ambient-ctx fill here: the transport layer decides what a datagram
+  // is caused by (TCP tags segments explicitly, UDP inherits the ambient
+  // span at its own send).  Filling ctx 0 from the ambient context at this
+  // layer would resurrect deliberately-untraced segments sent during
+  // inbound processing and chain them into whatever trace triggered the
+  // delivery — keeping sampled traces alive forever.
 
   if (is_local(datagram.header.dst)) {
     // Loopback delivery; still charge the CPU once.
@@ -216,6 +223,7 @@ void IpStack::output(net::Datagram datagram) {
     frag.header.more_fragments =
         (offset + chunk < payload.size()) || had_more;
     frag.payload = payload.slice(offset, chunk);
+    frag.trace_ctx = datagram.trace_ctx;
     frag.header.total_length =
         static_cast<std::uint16_t>(frag.size());
     stats_.fragments_sent++;
@@ -282,13 +290,21 @@ void IpStack::deliver_local(net::Datagram datagram) {
       return;
     }
     // The inner datagram is processed as if it had just arrived; for a
-    // host server, its destination is an installed virtual host.
+    // host server, its destination is an installed virtual host.  It
+    // continues the outer copy's trace (the redirector tags each
+    // tunnelled copy with its own span).
+    if (datagram.trace_ctx != 0) {
+      inner.value().trace_ctx = datagram.trace_ctx;
+    }
     process(std::move(inner).value());
     return;
   }
 
   auto it = protocols_.find(static_cast<std::uint8_t>(datagram.header.protocol));
   if (it == protocols_.end()) return;  // no listener: silently dropped
+  // Demux runs synchronously; the frame's context becomes ambient for the
+  // whole delivery chain (TCP input, ft-TCP gates, app callbacks).
+  trace2::ScopedCtx ctx(datagram.trace_ctx);
   it->second(datagram.header, std::move(datagram.payload));
 }
 
@@ -310,6 +326,7 @@ void IpStack::handle_fragment(net::Datagram datagram) {
     group.total_length =
         offset_bytes + static_cast<std::uint32_t>(datagram.payload.size());
   }
+  if (group.trace_ctx == 0) group.trace_ctx = datagram.trace_ctx;
   group.chunks[offset_bytes] = std::move(datagram.payload);
 
   if (group.total_length == 0) return;  // final fragment not yet seen
@@ -323,6 +340,7 @@ void IpStack::handle_fragment(net::Datagram datagram) {
 
   net::Datagram whole;
   whole.header = group.sample_header;
+  whole.trace_ctx = group.trace_ctx;
   whole.header.more_fragments = false;
   whole.header.fragment_offset = 0;
   whole.payload.resize(group.total_length);

@@ -157,6 +157,7 @@ class IpStack {
     std::map<std::uint32_t, CowBytes> chunks;
     std::uint32_t total_length = 0;  ///< payload length, known once MF=0 seen
     net::Ipv4Header sample_header;
+    std::uint64_t trace_ctx = 0;  ///< first tagged fragment's trace context
     sim::TimerId expiry = sim::kInvalidTimer;
   };
 

@@ -68,7 +68,9 @@ PacketBuffer Datagram::to_frame() const {
   Ipv4Header h = header;
   h.total_length = static_cast<std::uint16_t>(size());
   h.serialize(w);
-  return PacketBuffer::chain(std::move(hdr), payload.buffer());
+  PacketBuffer frame = PacketBuffer::chain(std::move(hdr), payload.buffer());
+  frame.trace_ctx = trace_ctx;
+  return frame;
 }
 
 Result<Datagram> Datagram::parse(BytesView wire) {
@@ -100,6 +102,7 @@ Result<Datagram> Datagram::parse(const PacketBuffer& frame) {
       Datagram d;
       d.header = header.value();
       d.payload = CowBytes(*tail);
+      d.trace_ctx = frame.trace_ctx;
       return d;
     }
     // total_length disagrees with the chain layout (link padding or a
@@ -114,6 +117,7 @@ Result<Datagram> Datagram::parse(const PacketBuffer& frame) {
   Datagram d;
   d.header = header.value();
   d.payload = CowBytes(flat.slice(Ipv4Header::kSize, payload_len));
+  d.trace_ctx = frame.trace_ctx;
   return d;
 }
 

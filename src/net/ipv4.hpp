@@ -51,6 +51,11 @@ struct Datagram {
   Ipv4Header header;
   CowBytes payload;
 
+  /// Causal-trace context (src/trace2).  Simulator-side only: carried by
+  /// to_frame()/parse(PacketBuffer) so causality survives link transit
+  /// and IP-in-IP encapsulation, but never serialised to wire bytes.
+  std::uint64_t trace_ctx = 0;
+
   std::size_t size() const { return Ipv4Header::kSize + payload.size(); }
 
   /// Serialises header + payload into a contiguous wire buffer (copies).

@@ -13,6 +13,9 @@ Datagram encapsulate_ipip(PacketBuffer inner_wire, Ipv4Address tunnel_src,
   // The tunnel must deliver the inner datagram intact; inner fragmentation
   // state is preserved inside the encapsulated bytes, which are shared,
   // not copied.
+  // The outer datagram inherits the inner frame's trace context (the
+  // redirector overrides this with a per-copy span id).
+  outer.trace_ctx = inner_wire.trace_ctx;
   outer.payload = CowBytes(std::move(inner_wire));
   return outer;
 }

@@ -5,6 +5,8 @@
 #include "common/bytes.hpp"
 #include "common/logging.hpp"
 #include "net/tunnel.hpp"
+#include "trace2/recorder.hpp"
+#include "trace2/span.hpp"
 #include "verify/invariant.hpp"
 
 namespace hydranet::redirector {
@@ -194,22 +196,40 @@ bool Redirector::on_transit(const net::Datagram& datagram) {
 void Redirector::tunnel_to(const net::Datagram& datagram,
                            const ServiceEntry& entry) {
   const net::Ipv4Address tunnel_src = router_.ip().primary_address();
+  // Fan-out span: the redirector intercepted one service datagram; each
+  // tunnelled copy gets its own child so the per-replica paths stay
+  // distinguishable downstream.
+  std::uint64_t fanout =
+      trace2::begin_child(datagram.trace_ctx, router_.ip().node_name());
+  sim::TimePoint fanout_start = router_.ip().scheduler().now();
   // Serialise the inner datagram exactly once; every tunnelled copy shares
   // that buffer and differs only in its own 20-byte outer header.
   PacketBuffer inner_wire = datagram.to_frame();
   stats_.inner_serializations++;
+  std::uint32_t copies = 0;
   auto send_copy = [&](net::Ipv4Address host_server) {
+    std::uint64_t copy =
+        trace2::begin_child(fanout, router_.ip().node_name());
+    sim::TimePoint copy_start = router_.ip().scheduler().now();
     net::Datagram outer =
         net::encapsulate_ipip(inner_wire, tunnel_src, host_server);
+    outer.trace_ctx = copy;
     stats_.copies_sent++;
+    copies++;
     stats_.tunnelled_bytes += outer.size();
     (void)router_.ip().send(std::move(outer));
+    trace2::commit(copy, fanout, trace2::span::kRedirectorCopy, copy_start,
+                   host_server.value(),
+                   static_cast<std::uint32_t>(inner_wire.size()));
   };
 
   send_copy(entry.primary);
   if (entry.mode == ServiceMode::fault_tolerant) {
     for (net::Ipv4Address backup : entry.backups) send_copy(backup);
   }
+  trace2::commit(fanout, datagram.trace_ctx, trace2::span::kRedirectorFanout,
+                 fanout_start, copies,
+                 static_cast<std::uint32_t>(inner_wire.size()));
 }
 
 }  // namespace hydranet::redirector

@@ -66,19 +66,57 @@ void append_histogram_json(std::string& out, const Histogram& h) {
   out += '}';
 }
 
-/// Splits one CSV line on commas; the last field keeps embedded commas
-/// (event details may contain them).
+/// RFC-4180 field encoding: a value containing a comma, quote, CR, or LF
+/// is wrapped in double quotes with embedded quotes doubled; anything
+/// else passes through bare (keeps the common case grep-able).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV record on commas, honouring RFC-4180 quoting.  For
+/// unquoted input the last field keeps embedded commas (the historical
+/// lenient behaviour, so old exports still import).
 std::vector<std::string> split_fields(const std::string& line,
                                       std::size_t max_fields) {
   std::vector<std::string> fields;
   std::size_t pos = 0;
-  while (fields.size() + 1 < max_fields) {
-    std::size_t comma = line.find(',', pos);
-    if (comma == std::string::npos) break;
-    fields.push_back(line.substr(pos, comma - pos));
-    pos = comma + 1;
+  while (true) {
+    std::string field;
+    if (pos < line.size() && line[pos] == '"') {
+      ++pos;  // opening quote
+      while (pos < line.size()) {
+        if (line[pos] == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            field += '"';  // "" = escaped quote
+            pos += 2;
+          } else {
+            ++pos;  // closing quote
+            break;
+          }
+        } else {
+          field += line[pos++];
+        }
+      }
+    } else if (fields.size() + 1 == max_fields) {
+      field = line.substr(pos);
+      pos = line.size();
+    } else {
+      std::size_t comma = line.find(',', pos);
+      if (comma == std::string::npos) comma = line.size();
+      field = line.substr(pos, comma - pos);
+      pos = comma;
+    }
+    fields.push_back(std::move(field));
+    if (pos >= line.size()) break;
+    ++pos;  // separator comma
   }
-  fields.push_back(line.substr(pos));
   return fields;
 }
 
@@ -178,8 +216,11 @@ std::string to_csv(const Registry& registry) {
     }
   }
   for (const Event& e : registry.timeline().events()) {
-    out += "event," + format_double(e.at.seconds()) + ',' + e.node + ',' +
-           e.kind + ',' + e.detail + '\n';
+    // Event details are free text (connection keys, service endpoints,
+    // messages) and may contain commas or newlines; quote per RFC 4180.
+    out += "event," + format_double(e.at.seconds()) + ',' +
+           csv_field(e.node) + ',' + csv_field(e.kind) + ',' +
+           csv_field(e.detail) + '\n';
   }
   return out;
 }
@@ -196,8 +237,14 @@ Result<Registry> from_csv(const std::string& csv) {
 
   std::size_t pos = 0;
   while (pos < csv.size()) {
-    std::size_t eol = csv.find('\n', pos);
-    if (eol == std::string::npos) eol = csv.size();
+    // Record boundary: the first newline *outside* quotes (quoted event
+    // details may span lines).
+    std::size_t eol = pos;
+    bool in_quotes = false;
+    while (eol < csv.size() && (in_quotes || csv[eol] != '\n')) {
+      if (csv[eol] == '"') in_quotes = !in_quotes;
+      ++eol;
+    }
     std::string line = csv.substr(pos, eol - pos);
     pos = eol + 1;
     if (line.empty() || line.rfind("record,", 0) == 0) continue;

@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "tcp/tcp_stack.hpp"
+#include "trace2/recorder.hpp"
+#include "trace2/span.hpp"
 #include "verify/invariant.hpp"
 
 namespace hydranet::tcp {
@@ -149,6 +151,15 @@ Result<std::size_t> TcpConnection::send(BytesView data) {
   if (fin_queued_) return Errc::closed;
   std::size_t n = std::min(send_capacity(), data.size());
   if (n == 0) return Errc::would_block;
+  // Root span: this write is where a causal trace begins (and where the
+  // sampling decision is taken).  Segments carved from the send buffer
+  // parent to the *current* write's decision — a sampled-out write must
+  // clear the context, or one sampled root would adopt every later
+  // segment and sampling would thin nothing.
+  std::uint64_t root =
+      trace2::begin_root(stack_.ip().node_name());
+  sim::TimePoint write_start = scheduler_.now();
+  trace_root_ctx_ = root;
   send_data_.insert(send_data_.end(), data.begin(),
                     data.begin() + static_cast<std::ptrdiff_t>(n));
   if (options_.packetize_writes) {
@@ -156,6 +167,9 @@ Result<std::size_t> TcpConnection::send(BytesView data) {
   }
   stats_.bytes_sent_app += n;
   schedule_output();
+  trace2::commit(root, 0, trace2::span::kAppWrite, write_start,
+                 static_cast<std::uint32_t>(key_.remote.port),
+                 static_cast<std::uint32_t>(n));
   return n;
 }
 
@@ -1045,13 +1059,30 @@ void TcpConnection::send_segment(std::uint64_t seq_off, BytesView payload,
     return;
   }
 
+  // Segmentize span: a wire segment leaves the connection.  A *data*
+  // segment parents strictly to its write's root, so the root sampling
+  // decision governs the whole downstream chain.  A pure ACK parents to
+  // the ambient input span instead — it is a bounded leaf of the inbound
+  // segment's trace.  (Letting data segments fall back to the ambient
+  // ctx would chain ACK-clocked transmissions into whatever old trace
+  // triggered the ACK, keeping one sampled root alive forever and
+  // defeating sampling entirely.)
+  std::uint64_t parent =
+      payload.empty() ? trace2::current_ctx() : trace_root_ctx_;
+  std::uint64_t span =
+      trace2::begin_child(parent, stack_.ip().node_name());
+  sim::TimePoint span_start = scheduler_.now();
+
   net::Datagram datagram;
   datagram.header.protocol = net::IpProto::tcp;
   datagram.header.src = key_.local.address;
   datagram.header.dst = key_.remote.address;
   datagram.payload =
       net::serialize_tcp(segment, key_.local.address, key_.remote.address);
+  datagram.trace_ctx = span;
   (void)stack_.ip().send(std::move(datagram));
+  trace2::commit(span, parent, trace2::span::kTcpSegmentize, span_start,
+                 h.seq, static_cast<std::uint32_t>(payload.size()));
 }
 
 void TcpConnection::send_pure_ack() {

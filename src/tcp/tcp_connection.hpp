@@ -256,6 +256,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TcpState state_ = TcpState::closed;
   TcpConnectionHooks* hooks_ = nullptr;
 
+  // The last write's span.app.write root (0 when that write was sampled
+  // out): the parent for segmentize spans until the next write resets it
+  // (src/trace2).
+  std::uint64_t trace_root_ctx_ = 0;
+
   // --- cached ft-TCP gate snapshot (see GateMarks) ---
   // A side is valid only when the last authoritative hook call on that
   // side was non-binding (so no stall interval is open that a skipped

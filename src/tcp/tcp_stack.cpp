@@ -1,6 +1,8 @@
 #include "tcp/tcp_stack.hpp"
 
 #include "common/logging.hpp"
+#include "trace2/recorder.hpp"
+#include "trace2/span.hpp"
 
 namespace hydranet::tcp {
 
@@ -222,7 +224,20 @@ void TcpStack::on_segment_datagram(const net::Ipv4Header& header,
                     net::Endpoint{header.src, segment.header.src_port}};
 
   if (auto connection = find_connection(key)) {
-    connection->on_segment(segment);  // local shared_ptr keeps it alive
+    // Input span: this node processed an inbound segment.  The parent is
+    // the sender's segmentize (or redirector copy) span, delivered as the
+    // ambient context by the IP demux; everything the connection does in
+    // response — ACKs, gate reports, app callbacks — nests under it.
+    std::uint64_t parent = trace2::current_ctx();
+    std::uint64_t span = trace2::begin_child(parent, ip_.node_name());
+    sim::TimePoint span_start = scheduler().now();
+    {
+      trace2::ScopedCtx ctx(span);
+      connection->on_segment(segment);  // local shared_ptr keeps it alive
+    }
+    trace2::commit(span, parent, trace2::span::kTcpInput, span_start,
+                   segment.header.seq,
+                   static_cast<std::uint32_t>(segment.payload.size()));
     return;
   }
 

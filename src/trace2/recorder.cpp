@@ -1,0 +1,122 @@
+#include "trace2/recorder.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace hydranet::trace2 {
+
+namespace {
+
+Recorder* g_recorder = nullptr;
+
+#if HYDRANET_TRACING
+std::uint64_t g_ambient_ctx = 0;
+#endif
+
+// Span ids encode (node, per-node sequence): the interned node index (+1,
+// so id 0 stays "no span") in the top 16 bits, the node's monotonically
+// increasing sequence below.  Both inputs are deterministic in a
+// deterministic simulation, so ids are reproducible across runs.
+constexpr int kNodeShift = 48;
+
+std::uint16_t id_node(std::uint64_t id) {
+  return static_cast<std::uint16_t>((id >> kNodeShift) - 1);
+}
+
+}  // namespace
+
+Recorder* recorder() { return g_recorder; }
+
+Recorder* install_recorder(Recorder* r) {
+  Recorder* previous = g_recorder;
+  g_recorder = r;
+  return previous;
+}
+
+#if HYDRANET_TRACING
+std::uint64_t current_ctx() { return g_ambient_ctx; }
+
+ScopedCtx::ScopedCtx(std::uint64_t ctx) : previous_(g_ambient_ctx) {
+  g_ambient_ctx = ctx;
+}
+
+ScopedCtx::~ScopedCtx() { g_ambient_ctx = previous_; }
+#endif
+
+Recorder::Recorder(sim::Scheduler& scheduler) : Recorder(scheduler, Config{}) {}
+
+Recorder::Recorder(sim::Scheduler& scheduler, Config config)
+    : scheduler_(scheduler), config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  if (config_.sample_every == 0) config_.sample_every = 1;
+}
+
+std::uint16_t Recorder::intern(const std::string& node) {
+  auto it = node_index_.find(node);
+  if (it != node_index_.end()) return it->second;
+  // First span on this node: allocate its ring up front so the record
+  // path below never allocates.
+  auto index = static_cast<std::uint16_t>(node_names_.size());
+  node_names_.push_back(node);
+  rings_.emplace_back();
+  rings_.back().records.reserve(config_.ring_capacity);
+  node_index_.emplace(node, index);
+  return index;
+}
+
+std::uint64_t Recorder::next_id(const std::string& node) {
+  std::uint16_t index = intern(node);
+  NodeRing& ring = rings_[index];
+  return (static_cast<std::uint64_t>(index) + 1) << kNodeShift | ++ring.seq;
+}
+
+std::uint64_t Recorder::begin_root(const std::string& node) {
+  if (roots_seen_++ % config_.sample_every != 0) return 0;
+  roots_sampled_++;
+  return next_id(node);
+}
+
+std::uint64_t Recorder::begin_child(std::uint64_t parent,
+                                    const std::string& node) {
+  if (parent == 0) return 0;
+  return next_id(node);
+}
+
+void Recorder::commit(std::uint64_t id, std::uint64_t parent,
+                      const char* name, sim::TimePoint start, std::uint32_t a,
+                      std::uint32_t b) {
+  commit_at(id, parent, name, start, scheduler_.now(), a, b);
+}
+
+void Recorder::commit_at(std::uint64_t id, std::uint64_t parent,
+                         const char* name, sim::TimePoint start,
+                         sim::TimePoint end, std::uint32_t a,
+                         std::uint32_t b) {
+  if (id == 0) return;
+  NodeRing& ring = rings_[id_node(id)];
+  SpanRecord record{id, parent, start, end, name, id_node(id), a, b};
+  if (ring.records.size() < config_.ring_capacity) {
+    ring.records.push_back(record);
+  } else {
+    // Ring full: flight-recorder semantics — overwrite the oldest.
+    ring.records[ring.next] = record;
+    ring.next = (ring.next + 1) % config_.ring_capacity;
+    spans_dropped_++;
+  }
+  spans_recorded_++;
+}
+
+std::vector<SpanRecord> Recorder::snapshot() const {
+  std::vector<SpanRecord> out;
+  std::size_t total = 0;
+  for (const NodeRing& ring : rings_) total += ring.records.size();
+  out.reserve(total);
+  for (const NodeRing& ring : rings_) {
+    // `next` is the oldest surviving record once the ring has wrapped.
+    for (std::size_t i = 0; i < ring.records.size(); ++i) {
+      out.push_back(ring.records[(ring.next + i) % ring.records.size()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hydranet::trace2

@@ -1,0 +1,224 @@
+// The flight recorder: a low-overhead causal span tracer (DESIGN.md §8,
+// "Tracing" in the README).
+//
+// Each interesting unit of work — an application write, a segmentize, a
+// redirector fan-out copy, a gate stall — is one *span*: a (start, end]
+// interval on a node, with a parent span id that threads causality across
+// layers and hosts.  Context propagates two ways:
+//
+//   * on packets — net::Datagram and PacketBuffer carry a passive
+//     `trace_ctx` field (never serialised to the wire, so simulated bytes
+//     are untouched), which survives link transit, IP-in-IP encap/decap,
+//     fragmentation, and the CPU model's deferred-work lambdas;
+//   * ambiently — current_ctx()/ScopedCtx hold the active span across
+//     synchronous call chains (IP demux → TCP input → ft-TCP gates).
+//     The simulation is single-threaded and delivery demux is
+//     synchronous, so one process-global slot is exact, not approximate.
+//
+// Design constraints, all load-bearing:
+//   * deterministic — span ids are (interned node, per-node sequence)
+//     pairs and every timestamp is virtual sim time; two runs of the same
+//     seed produce byte-identical traces and no wall clock is consulted;
+//   * allocation-free hot path — records are fixed-size PODs in
+//     pre-sized per-node ring buffers; when a ring wraps, the oldest
+//     record is overwritten (flight-recorder semantics) and counted in
+//     spans_dropped;
+//   * sampled at the root — the sampling decision is taken once per root
+//     span (every Nth application write); an unsampled root yields ctx 0
+//     and every downstream helper no-ops on ctx 0 in one branch;
+//   * compiled out — with HYDRANET_TRACING=OFF every helper below is an
+//     empty inline function and hot-path object code contains no tracer
+//     calls (mirrors HN_INVARIANT / HYDRANET_INVARIANTS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+#ifndef HYDRANET_TRACING
+#define HYDRANET_TRACING 0
+#endif
+
+namespace hydranet::sim {
+class Scheduler;
+}
+
+namespace hydranet::trace2 {
+
+inline constexpr bool kEnabled = HYDRANET_TRACING != 0;
+
+/// One finished span.  Fixed-size POD; `name` points at a string literal
+/// from span.hpp, `node` is an index into the recorder's interned node
+/// names, and `a`/`b` carry span-specific detail (sequence numbers, byte
+/// counts, replica addresses — see the exporters).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  sim::TimePoint start{};
+  sim::TimePoint end{};
+  const char* name = "";
+  std::uint16_t node = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+class Recorder {
+ public:
+  struct Config {
+    /// Span records kept per node; older records are overwritten.
+    std::size_t ring_capacity = 65536;
+    /// Trace every Nth root (application write); 1 = every root.
+    std::size_t sample_every = 1;
+  };
+
+  explicit Recorder(sim::Scheduler& scheduler);
+  Recorder(sim::Scheduler& scheduler, Config config);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Root sampling decision + id allocation in one step: returns 0 when
+  /// this root is sampled out, else a fresh span id (the new trace ctx).
+  std::uint64_t begin_root(const std::string& node);
+
+  /// Allocates a child span id under `parent`; 0 when parent is 0 (the
+  /// chain was sampled out upstream).
+  std::uint64_t begin_child(std::uint64_t parent, const std::string& node);
+
+  /// Commits a finished span ending now.  No-op when `id` is 0.
+  void commit(std::uint64_t id, std::uint64_t parent, const char* name,
+              sim::TimePoint start, std::uint32_t a = 0, std::uint32_t b = 0);
+  /// Commits with an explicit end time (gate stalls close retroactively).
+  void commit_at(std::uint64_t id, std::uint64_t parent, const char* name,
+                 sim::TimePoint start, sim::TimePoint end, std::uint32_t a = 0,
+                 std::uint32_t b = 0);
+
+  // ---- introspection / export --------------------------------------------
+
+  std::uint64_t spans_recorded() const { return spans_recorded_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
+  std::uint64_t roots_sampled() const { return roots_sampled_; }
+  std::uint64_t roots_seen() const { return roots_seen_; }
+  std::size_t node_count() const { return node_names_.size(); }
+  const std::string& node_name(std::uint16_t node) const {
+    return node_names_.at(node);
+  }
+
+  /// All retained records, oldest first per node, nodes in intern order.
+  std::vector<SpanRecord> snapshot() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct NodeRing {
+    std::vector<SpanRecord> records;  ///< reserved to ring_capacity
+    std::size_t next = 0;             ///< overwrite cursor once full
+    std::uint64_t seq = 0;            ///< per-node id sequence
+  };
+
+  std::uint16_t intern(const std::string& node);
+  std::uint64_t next_id(const std::string& node);
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  std::vector<std::string> node_names_;
+  std::vector<NodeRing> rings_;
+  std::unordered_map<std::string, std::uint16_t> node_index_;
+  std::uint64_t roots_seen_ = 0;
+  std::uint64_t roots_sampled_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+/// The installed recorder, or null when tracing is not active.  Process
+/// global, like datapath_counters(): the simulation is single-threaded
+/// and one recorder observes every node of a network.
+Recorder* recorder();
+
+/// Installs `r` (null uninstalls) and returns the previous recorder.
+Recorder* install_recorder(Recorder* r);
+
+/// RAII installation for tests, benches, and the CLI.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder& r) : previous_(install_recorder(&r)) {}
+  ~ScopedRecorder() { install_recorder(previous_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+#if HYDRANET_TRACING
+
+/// The ambient trace context (active span id; 0 = none).
+std::uint64_t current_ctx();
+
+/// Scopes the ambient context: installs `ctx` (even 0 — an untraced
+/// delivery must not inherit a stale context) and restores on exit.
+class ScopedCtx {
+ public:
+  explicit ScopedCtx(std::uint64_t ctx);
+  ~ScopedCtx();
+  ScopedCtx(const ScopedCtx&) = delete;
+  ScopedCtx& operator=(const ScopedCtx&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+inline std::uint64_t begin_root(const std::string& node) {
+  Recorder* r = recorder();
+  return r == nullptr ? 0 : r->begin_root(node);
+}
+
+inline std::uint64_t begin_child(std::uint64_t parent,
+                                 const std::string& node) {
+  if (parent == 0) return 0;
+  Recorder* r = recorder();
+  return r == nullptr ? 0 : r->begin_child(parent, node);
+}
+
+inline void commit(std::uint64_t id, std::uint64_t parent, const char* name,
+                   sim::TimePoint start, std::uint32_t a = 0,
+                   std::uint32_t b = 0) {
+  if (id == 0) return;
+  if (Recorder* r = recorder()) r->commit(id, parent, name, start, a, b);
+}
+
+inline void commit_at(std::uint64_t id, std::uint64_t parent, const char* name,
+                      sim::TimePoint start, sim::TimePoint end,
+                      std::uint32_t a = 0, std::uint32_t b = 0) {
+  if (id == 0) return;
+  if (Recorder* r = recorder()) {
+    r->commit_at(id, parent, name, start, end, a, b);
+  }
+}
+
+#else  // !HYDRANET_TRACING — every helper is an empty inline no-op so call
+       // sites compile away entirely; ScopedCtx is an empty object.
+
+constexpr std::uint64_t current_ctx() { return 0; }
+
+class ScopedCtx {
+ public:
+  explicit ScopedCtx(std::uint64_t) {}
+};
+
+inline std::uint64_t begin_root(const std::string&) { return 0; }
+inline std::uint64_t begin_child(std::uint64_t, const std::string&) {
+  return 0;
+}
+inline void commit(std::uint64_t, std::uint64_t, const char*, sim::TimePoint,
+                   std::uint32_t = 0, std::uint32_t = 0) {}
+inline void commit_at(std::uint64_t, std::uint64_t, const char*,
+                      sim::TimePoint, sim::TimePoint, std::uint32_t = 0,
+                      std::uint32_t = 0) {}
+
+#endif  // HYDRANET_TRACING
+
+}  // namespace hydranet::trace2

@@ -1,0 +1,33 @@
+// Span-name catalogue for the causal span tracer (src/trace2).
+//
+// Every span name is a string literal of the shape `span.<layer>.<what>`
+// so the custom lint in tools/run_static.py can cross-check this file
+// against the DESIGN.md §8 table in both directions, exactly like metric
+// names.  Emission sites use these constants — a span name appearing
+// anywhere else in src/ is a lint finding.
+//
+// The catalogue follows one client write through the whole system:
+//
+//   span.app.write          root: the application handed bytes to TCP
+//   span.tcp.segmentize     a wire segment left a connection (ctx rides
+//                           the datagram from here on)
+//   span.redirector.fanout  the redirector intercepted a service datagram
+//   span.redirector.copy    one tunnelled copy (child per replica)
+//   span.tcp.input          a replica/client processed an inbound segment
+//   span.ftcp.deposit_wait  §4.3 receive gate held client data back
+//   span.ftcp.send_wait     §4.3 send gate held server data back
+//   span.ftcp.ack_report    a flow-control report left on the ack channel
+#pragma once
+
+namespace hydranet::trace2::span {
+
+inline constexpr const char* kAppWrite = "span.app.write";
+inline constexpr const char* kTcpSegmentize = "span.tcp.segmentize";
+inline constexpr const char* kTcpInput = "span.tcp.input";
+inline constexpr const char* kRedirectorFanout = "span.redirector.fanout";
+inline constexpr const char* kRedirectorCopy = "span.redirector.copy";
+inline constexpr const char* kFtcpDepositWait = "span.ftcp.deposit_wait";
+inline constexpr const char* kFtcpSendWait = "span.ftcp.send_wait";
+inline constexpr const char* kFtcpAckReport = "span.ftcp.ack_report";
+
+}  // namespace hydranet::trace2::span

@@ -1,6 +1,7 @@
 #include "udp/udp.hpp"
 
 #include "net/udp_header.hpp"
+#include "trace2/recorder.hpp"
 
 namespace hydranet::udp {
 
@@ -102,6 +103,10 @@ Status UdpStack::send(net::Ipv4Address src, const net::Endpoint& local,
   datagram.header.src = source;
   datagram.header.dst = dst.address;
   datagram.payload = net::serialize_udp(header, data, source, dst.address);
+  // A datagram sent inside a traced call chain (ack-channel reports most
+  // of all) inherits the ambient span, so the receiver's processing links
+  // back to whatever caused this send.
+  datagram.trace_ctx = trace2::current_ctx();
   return ip_.send(std::move(datagram));
 }
 

@@ -245,6 +245,37 @@ TEST(Export, FromCsvRejectsGarbage) {
   EXPECT_FALSE(from_csv("frobnicate,a,b,c\n").ok());
 }
 
+TEST(Export, CsvQuotesEventDetailsWithCommasNewlinesAndQuotes) {
+  // Event details are free text and may contain every CSV metacharacter;
+  // to_csv must quote per RFC 4180 and from_csv must round-trip exactly.
+  Registry registry;
+  registry.timeline().record(sim::TimePoint{sim::seconds(1).ns}, "server1",
+                             event::kFailureSignal,
+                             "192.20.225.20:5001, blocked_on_successor");
+  registry.timeline().record(sim::TimePoint{sim::seconds(2).ns}, "redirector",
+                             event::kReplicaEliminated,
+                             "line one\nline two");
+  registry.timeline().record(sim::TimePoint{sim::seconds(3).ns}, "server2",
+                             event::kPromoted, "said \"ok\", twice");
+
+  std::string csv = to_csv(registry);
+  // The comma-bearing detail is quoted, so the header's 4-column shape is
+  // never ambiguous.
+  EXPECT_NE(csv.find("\"192.20.225.20:5001, blocked_on_successor\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"said \"\"ok\"\", twice\""), std::string::npos);
+
+  auto restored = from_csv(csv);
+  ASSERT_TRUE(restored.ok());
+  const auto& events = restored.value().timeline().events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].detail, "192.20.225.20:5001, blocked_on_successor");
+  EXPECT_EQ(events[1].detail, "line one\nline two");
+  EXPECT_EQ(events[2].detail, "said \"ok\", twice");
+  // Fixed point: re-export equals the first export.
+  EXPECT_EQ(to_csv(restored.value()), csv);
+}
+
 // ------------------------------------------------------------- integration
 
 apps::TtcpTransmitter::Config ttcp_config(const testbed::TestbedConfig& config,

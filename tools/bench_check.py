@@ -102,6 +102,21 @@ def main():
         print(f"{name:24s} missing from current run")
         failed.append(name)
 
+    # Tracer-overhead gate: with sampling at 1-in-64 the causal tracer
+    # must cost < 5% of the untraced ft-chain rate.  Compared in-run
+    # (same machine, same interference) rather than against the committed
+    # baseline; vacuous on tracing-OFF builds, which omit the scenarios.
+    rates = {s["name"]: s["packets_per_wall_second"] for s in scenarios}
+    untraced = rates.get("tcp_ft_chain_1_backup")
+    traced64 = rates.get("tcp_ft_chain_trace64")
+    if untraced and traced64:
+        overhead = 1 - traced64 / untraced
+        verdict = "ok" if overhead < 0.05 else "REGRESSION"
+        print(f"{'trace64 overhead':24s} {overhead:12.1%} vs untraced "
+              f"(< 5% required)  {verdict}")
+        if verdict != "ok":
+            failed.append("trace64_overhead")
+
     if failed:
         print(f"\nFAIL: {len(failed)} scenario(s) regressed more than "
               f"{args.tolerance:.0%}: {', '.join(failed)}")

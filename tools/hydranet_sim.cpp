@@ -25,6 +25,8 @@
 #include "stats/export.hpp"
 #include "testbed/testbed.hpp"
 #include "trace/packet_trace.hpp"
+#include "trace2/export.hpp"
+#include "trace2/recorder.hpp"
 
 using namespace hydranet;
 
@@ -47,6 +49,9 @@ struct Options {
   std::string stats_file;    ///< empty = no stats export
   std::string stats_format;  ///< "", "json", "csv" (default by extension)
   std::string pcap_file;     ///< (trace) empty = no pcap export
+  bool span_trace = false;          ///< --trace: causal span tracer on
+  std::size_t trace_sample = 1;     ///< --trace-sample: every Nth write
+  std::string trace_out;            ///< --trace-out: span export file
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,6 +73,10 @@ struct Options {
       "  --stats FILE       export metrics + event timeline (- = stdout)\n"
       "  --stats-format F   json|csv (default: by FILE extension, else json)\n"
       "  --pcap FILE        (trace) also write a libpcap capture\n"
+      "  --trace            enable the causal span tracer (src/trace2)\n"
+      "  --trace-sample N   trace every Nth application write (default 1)\n"
+      "  --trace-out FILE   span export: .jsonl = spans JSONL, otherwise\n"
+      "                     Chrome/Perfetto trace JSON (- = stdout)\n"
       "  --log-level L      trace|debug|info|warn|error|off (default error)\n",
       argv0);
   std::exit(2);
@@ -136,6 +145,16 @@ Options parse(int argc, char** argv) {
       }
     } else if (flag == "--pcap") {
       options.pcap_file = value();
+    } else if (flag == "--trace") {
+      options.span_trace = true;
+    } else if (flag == "--trace-sample") {
+      options.span_trace = true;
+      options.trace_sample =
+          static_cast<std::size_t>(std::atoll(value().c_str()));
+      if (options.trace_sample == 0) options.trace_sample = 1;
+    } else if (flag == "--trace-out") {
+      options.span_trace = true;
+      options.trace_out = value();
     } else if (flag == "--log-level") {
       set_log_level(parse_log_level(value()));
     } else if (flag == "--sizes") {
@@ -207,6 +226,53 @@ void print_stats_summary(const stats::Registry& registry) {
   }
   std::printf("timeline: %zu events\n", registry.timeline().events().size());
 }
+
+// ---- span tracing -----------------------------------------------------------
+
+/// Owns and installs the flight recorder for one run when --trace is on.
+struct TraceSession {
+  std::unique_ptr<trace2::Recorder> recorder;
+  std::unique_ptr<trace2::ScopedRecorder> installed;
+
+  TraceSession(const Options& options, sim::Scheduler& scheduler) {
+    if (!options.span_trace) return;
+    if (!trace2::kEnabled) {
+      std::fprintf(stderr,
+                   "warning: this binary was built with HYDRANET_TRACING=OFF; "
+                   "--trace has no effect\n");
+      return;
+    }
+    trace2::Recorder::Config config;
+    config.sample_every = options.trace_sample;
+    recorder = std::make_unique<trace2::Recorder>(scheduler, config);
+    installed = std::make_unique<trace2::ScopedRecorder>(*recorder);
+  }
+
+  /// Writes --trace-out (.jsonl = spans JSONL, anything else = Chrome
+  /// trace JSON for chrome://tracing / ui.perfetto.dev).
+  bool export_trace(const Options& options) const {
+    if (recorder == nullptr || options.trace_out.empty()) return true;
+    const std::string& f = options.trace_out;
+    bool jsonl = f.size() > 6 && f.compare(f.size() - 6, 6, ".jsonl") == 0;
+    std::string text = jsonl ? trace2::to_spans_jsonl(*recorder)
+                             : trace2::to_chrome_json(*recorder);
+    Status status = stats::write_file(f, text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write trace to %s\n", f.c_str());
+      return false;
+    }
+    if (f != "-") {
+      std::printf("trace written to %s (%llu spans, %llu dropped, "
+                  "%llu/%llu roots sampled)\n",
+                  f.c_str(),
+                  static_cast<unsigned long long>(recorder->spans_recorded()),
+                  static_cast<unsigned long long>(recorder->spans_dropped()),
+                  static_cast<unsigned long long>(recorder->roots_sampled()),
+                  static_cast<unsigned long long>(recorder->roots_seen()));
+    }
+    return true;
+  }
+};
 
 // ---- the shared measurement driver ------------------------------------------
 
@@ -299,6 +365,7 @@ RunResult run_ttcp_once(const Options& options, testbed::Testbed& bed,
 
 int cmd_ttcp(const Options& options) {
   testbed::Testbed bed(make_config(options));
+  TraceSession session(options, bed.scheduler());
   RunResult result = run_ttcp_once(options, bed);
   std::printf("setup=%s backups=%d size=%zu total=%zu loss=%.3f seed=%llu\n",
               testbed::to_string(options.setup), options.backups,
@@ -316,6 +383,7 @@ int cmd_ttcp(const Options& options) {
     print_stats_summary(registry);
     if (!export_stats(options, registry)) return 1;
   }
+  if (!session.export_trace(options)) return 1;
   return result.finished ? 0 : 1;
 }
 
@@ -328,6 +396,7 @@ int cmd_sweep(const Options& options) {
     one.total_bytes = std::clamp<std::size_t>(size * 1500, 96 * 1024,
                                               2 * 1024 * 1024);
     testbed::Testbed bed(make_config(one));
+    TraceSession session(one, bed.scheduler());
     RunResult result = run_ttcp_once(one, bed);
     stats::Registry& registry = bed.stats();
     std::printf("csv,%s,%zu,%.1f,%llu,%llu,%llu,%llu\n",
@@ -344,6 +413,10 @@ int cmd_sweep(const Options& options) {
       // carry the per-size counters).
       if (!export_stats(options, registry)) return 1;
     }
+    // As with stats: one trace per run, the last size's is exported.
+    if (size == options.sizes.back() && !session.export_trace(options)) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -352,6 +425,7 @@ int cmd_failover(const Options& options) {
   Options one = options;
   one.setup = testbed::Setup::primary_backup;
   testbed::Testbed bed(make_config(one));
+  TraceSession session(one, bed.scheduler());
   RunResult result =
       run_ttcp_once(one, bed, options.crash_at_ms, options.crash_index);
   std::printf("failover run: %s, %.1f kB/s end-to-end, %llu retransmits, "
@@ -379,10 +453,18 @@ int cmd_failover(const Options& options) {
   } else {
     std::printf("timeline: no crash recorded (stream finished first?)\n");
   }
+  // Span-aware post-mortem: phase decomposition per crashed service plus
+  // deposit-gate stall aggregates (works without --trace too, from the
+  // event timeline alone).
+  std::fputs(trace2::postmortem_text(session.recorder.get(),
+                                     registry.timeline())
+                 .c_str(),
+             stdout);
   if (!options.stats_file.empty()) {
     print_stats_summary(registry);
     if (!export_stats(options, registry)) return 1;
   }
+  if (!session.export_trace(options)) return 1;
   return result.finished ? 0 : 1;
 }
 

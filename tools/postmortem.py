@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Failover post-mortem from exported artefacts (offline twin of the
+in-process `trace2::postmortem`).
+
+Usage:
+    postmortem.py --stats stats.json [--spans spans.jsonl]
+
+`stats.json` is the `--stats out.json --stats-format json` export (its
+`events` array is the timeline); `spans.jsonl` is the `--trace
+--trace-out spans.jsonl` export (one JSON object per span).  Output: one
+phase decomposition per injected crash —
+
+    last-heartbeat -> detector-fired -> mgmt-reroute ->
+        first-segment-via-new-primary
+
+— plus per-connection deposit-gate stall aggregates.  Everything works
+from the timeline alone; the spans file adds the span-derived rows
+(last activity on the failed node, first segment on the new primary)
+and the stall histograms.
+
+Exit status is non-zero when a crash was injected but no promotion was
+observed (the failover never completed), so the script doubles as a CI
+assertion.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# Event kinds (mirrors src/stats/timeline.hpp).
+CRASH = "crash_injected"
+FAILURE_SIGNAL = "failure_signal"
+REPORT_SENT = "failure_report_sent"
+REPORT_RECEIVED = "failure_report_received"
+ELIMINATED = "replica_eliminated"
+PROMOTED = "promoted"
+RESUMED = "stream_resumed"
+
+ACK_REPORT = "span.ftcp.ack_report"
+SEGMENTIZE = "span.tcp.segmentize"
+DEPOSIT_WAIT = "span.ftcp.deposit_wait"
+
+
+def load_events(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    return doc.get("events", [])
+
+
+def load_spans(path):
+    spans = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def fmt(ms):
+    return "n/a" if ms is None else f"{ms:.3f} ms"
+
+
+def first(events, kind, after_s, service):
+    """First event of `kind` at/after `after_s` whose detail names the
+    service (details lead with the service endpoint; failure_signal
+    details lead with the connection key, whose local side IS the
+    service endpoint)."""
+    for e in events:
+        if e["kind"] != kind or e["t"] < after_s:
+            continue
+        if service and not e["detail"].startswith(service):
+            continue
+        return e
+    return None
+
+
+def breakdowns(events, spans):
+    out = []
+    for crash in (e for e in events if e["kind"] == CRASH):
+        b = {
+            "service": crash["detail"],
+            "failed_node": crash["node"],
+            "crash_s": crash["t"],
+            "promoted_node": None,
+        }
+        t0 = crash["t"]
+
+        def phase(kind, service=b["service"]):
+            e = first(events, kind, t0, service)
+            return None if e is None else (e["t"] - t0) * 1e3, e
+
+        b["detect_ms"], _ = phase(FAILURE_SIGNAL)
+        if b["detect_ms"] is None:
+            b["detect_ms"], _ = phase(REPORT_SENT)
+        b["report_received_ms"], _ = phase(REPORT_RECEIVED)
+        b["eliminate_ms"], _ = phase(ELIMINATED)
+        b["promote_ms"], promoted = phase(PROMOTED)
+        if promoted is not None:
+            b["promoted_node"] = promoted["node"]
+        # stream_resumed carries no service tag (client-side event);
+        # attribute the first one after the crash.
+        b["resume_ms"], _ = phase(RESUMED, service=None)
+
+        # Span-derived rows.  Ack reports are the heartbeat, but only
+        # replicas with a predecessor send them; fall back to the failed
+        # node's last span of any kind (see trace2::postmortem).
+        b["last_report_age_ms"] = None
+        b["first_segment_ms"] = None
+        last_any = None
+        crash_ns = t0 * 1e9
+        for s in spans:
+            if s["node"] == b["failed_node"] and s["end_ns"] <= crash_ns:
+                age = (crash_ns - s["end_ns"]) / 1e6
+                last_any = age if last_any is None else min(last_any, age)
+                if s["name"] == ACK_REPORT:
+                    prev = b["last_report_age_ms"]
+                    b["last_report_age_ms"] = (
+                        age if prev is None else min(prev, age))
+            if (promoted is not None and s["name"] == SEGMENTIZE
+                    and s["node"] == b["promoted_node"]
+                    and s["start_ns"] >= promoted["t"] * 1e9):
+                ms = (s["start_ns"] - crash_ns) / 1e6
+                prev = b["first_segment_ms"]
+                b["first_segment_ms"] = ms if prev is None else min(prev, ms)
+        if b["last_report_age_ms"] is None:
+            b["last_report_age_ms"] = last_any
+        out.append(b)
+    return out
+
+
+def stall_summary(spans):
+    grouped = defaultdict(lambda: {"stalls": 0, "total_ms": 0.0, "max_ms": 0.0})
+    for s in spans:
+        if s["name"] != DEPOSIT_WAIT:
+            continue
+        g = grouped[(s["node"], s["a"])]
+        ms = (s["end_ns"] - s["start_ns"]) / 1e6
+        g["stalls"] += 1
+        g["total_ms"] += ms
+        g["max_ms"] = max(g["max_ms"], ms)
+    return sorted(grouped.items())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stats", required=True,
+                        help="stats JSON export (event timeline)")
+    parser.add_argument("--spans", help="spans JSONL export (--trace-out)")
+    args = parser.parse_args()
+
+    events = load_events(args.stats)
+    spans = load_spans(args.spans) if args.spans else []
+
+    failed = 0
+    results = breakdowns(events, spans)
+    if not results:
+        print("post-mortem: no crash recorded")
+    for b in results:
+        head = (f"post-mortem: service {b['service']}, {b['failed_node']} "
+                f"crashed at {b['crash_s']:.3f}s")
+        if b["promoted_node"]:
+            head += f", {b['promoted_node']} promoted"
+        else:
+            failed += 1
+        print(head)
+        rows = [
+            ("last activity on failed node",
+             fmt(b["last_report_age_ms"]) + " before crash"),
+            ("detector fired", "+" + fmt(b["detect_ms"])),
+            ("report reached redirector", "+" + fmt(b["report_received_ms"])),
+            ("replica eliminated (reroute)", "+" + fmt(b["eliminate_ms"])),
+            ("backup promoted", "+" + fmt(b["promote_ms"])),
+            ("first segment via new primary", "+" + fmt(b["first_segment_ms"])),
+            ("client stream resumed", "+" + fmt(b["resume_ms"])),
+        ]
+        for label, value in rows:
+            print(f"  {label:<32} {value}")
+
+    stalls = stall_summary(spans)
+    if stalls:
+        print("deposit-gate stalls per connection "
+              "(node/client-port: count, total, max):")
+        for (node, tag), g in stalls:
+            print(f"  {node}/{tag}: {g['stalls']} stalls, "
+                  f"{g['total_ms']:.3f} ms total, {g['max_ms']:.3f} ms max")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

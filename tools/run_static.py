@@ -18,6 +18,9 @@ The `lint` mode needs no external tools and always runs:
     like a metric name (`<layer>.<name>` with a catalogued layer prefix)
     must appear in the DESIGN.md §8 table, and vice versa, so the
     observability docs can never drift from the code;
+  * span-name cross-check — the same contract for the causal tracer's
+    `span.<layer>.<what>` literals (src/trace2/span.hpp) against the §8
+    span-name row;
   * reinterpret_cast ban — the only sanctioned reinterpret_cast lives in
     src/common/ (the as_bytes() helper); anywhere else must go through
     it.
@@ -38,9 +41,11 @@ SKIP = 77
 # with slashes (include paths) or other characters never match because the
 # match is anchored over the entire literal.
 METRIC_RE = re.compile(
-    r"(ip|tcp|link|redirector|ftcp|mgmt|datapath|scheduler|invariant)"
+    r"(ip|tcp|link|redirector|ftcp|mgmt|datapath|scheduler|invariant|trace)"
     r"\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
 )
+# Causal-tracer span names: `span.<layer>.<what>` (src/trace2/span.hpp).
+SPAN_RE = re.compile(r"span\.[a-z0-9_]+(\.[a-z0-9_]+)*$")
 STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 # The stats exporter re-imports previously exported snapshots, so metric
@@ -164,11 +169,48 @@ def design_metric_names(source_dir):
         if len(cells) < 2 or not re.fullmatch(r"`[a-z]+\.`", cells[0]):
             continue
         prefix = cells[0].strip("`")
+        if prefix == "span.":
+            continue  # span names have their own cross-check
         # Parenthesised text is commentary (derived-value formulas, node
         # names); only backticked tokens in the list structure are names.
         counters_cell = re.sub(r"\([^)]*\)", "", cells[1])
         for token in re.findall(r"`([a-z0-9_.]+)`", counters_cell):
             names.add(prefix + token)
+    return names
+
+
+def design_span_names(source_dir):
+    """Span names catalogued in the DESIGN.md §8 `span.` row."""
+    design = pathlib.Path(source_dir) / "DESIGN.md"
+    names = set()
+    in_section = False
+    for line in design.read_text().splitlines():
+        if line.startswith("## "):
+            in_section = line.startswith("## 8.")
+            continue
+        if not in_section or not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if len(cells) < 2 or cells[0] != "`span.`":
+            continue
+        names_cell = re.sub(r"\([^)]*\)", "", cells[1])
+        for token in re.findall(r"`([a-z0-9_.]+)`", names_cell):
+            names.add("span." + token)
+    return names
+
+
+def code_span_names(source_dir):
+    """Span-name-shaped string literals in src/, keyed by location."""
+    names = {}
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if rel in METRIC_SCAN_EXCLUDE:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for match in STRING_LITERAL_RE.finditer(line):
+                literal = match.group(1)
+                if SPAN_RE.fullmatch(literal):
+                    names.setdefault(literal, f"{rel}:{lineno}")
     return names
 
 
@@ -199,6 +241,17 @@ def run_lint(args):
     for name in sorted(documented - set(in_code)):
         findings.append(
             f"DESIGN.md: metric `{name}` is catalogued in §8 but never "
+            "appears in src/")
+
+    documented_spans = design_span_names(args.source_dir)
+    spans_in_code = code_span_names(args.source_dir)
+    for name in sorted(set(spans_in_code) - documented_spans):
+        findings.append(
+            f"{spans_in_code[name]}: span `{name}` is not in the "
+            "DESIGN.md §8 span-name row")
+    for name in sorted(documented_spans - set(spans_in_code)):
+        findings.append(
+            f"DESIGN.md: span `{name}` is catalogued in §8 but never "
             "appears in src/")
 
     for path in repo_sources(args.source_dir):
