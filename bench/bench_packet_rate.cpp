@@ -45,6 +45,8 @@ struct ScenarioResult {
   std::uint64_t allocations = 0;
   std::uint64_t cow_breaks = 0;
   std::uint64_t flattens = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
   std::uint64_t scheduler_heap_fallbacks = 0;
   // Redirector accounting (zero for the plain one-hop scenario).
   std::uint64_t redirected = 0;
@@ -160,6 +162,8 @@ ScenarioResult run_scenario(const std::string& name, int backups,
   result.allocations = dp.allocations;
   result.cow_breaks = dp.cow_breaks;
   result.flattens = dp.flattens;
+  result.pool_hits = dp.pool_hits;
+  result.pool_misses = dp.pool_misses;
   result.scheduler_heap_fallbacks =
       inline_function_heap_allocs() - heap_before;
   result.wheel_inserts = net.scheduler().wheel_inserts() - inserts_before;
@@ -254,6 +258,8 @@ ScenarioResult run_tcp_scenario(const std::string& name, int backups,
   result.allocations = dp.allocations;
   result.cow_breaks = dp.cow_breaks;
   result.flattens = dp.flattens;
+  result.pool_hits = dp.pool_hits;
+  result.pool_misses = dp.pool_misses;
   result.scheduler_heap_fallbacks = inline_function_heap_allocs() - heap_before;
   result.wheel_inserts = bed.net().scheduler().wheel_inserts() - inserts_before;
   result.wheel_cascades =
@@ -297,6 +303,10 @@ void write_json(const std::vector<ScenarioResult>& results,
                  static_cast<unsigned long long>(r.cow_breaks));
     std::fprintf(f, "        \"flattens\": %llu,\n",
                  static_cast<unsigned long long>(r.flattens));
+    std::fprintf(f, "        \"pool_hits\": %llu,\n",
+                 static_cast<unsigned long long>(r.pool_hits));
+    std::fprintf(f, "        \"pool_misses\": %llu,\n",
+                 static_cast<unsigned long long>(r.pool_misses));
     std::fprintf(f, "        \"scheduler_heap_fallbacks\": %llu\n",
                  static_cast<unsigned long long>(r.scheduler_heap_fallbacks));
     std::fprintf(f, "      },\n");

@@ -72,15 +72,6 @@ void ByteReader::skip(std::size_t n) {
   if (ensure(n)) pos_ += n;
 }
 
-std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc) {
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    acc += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
-  }
-  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i] << 8);
-  return acc;
-}
-
 std::uint16_t checksum_finish(std::uint32_t acc) {
   while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
   return static_cast<std::uint16_t>(~acc & 0xffff);

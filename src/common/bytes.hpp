@@ -53,6 +53,10 @@ class ByteWriter {
 
   std::size_t size() const { return out_.size(); }
 
+  /// The buffer being written.  For patch-after-write fields (checksums)
+  /// that are cheaper to fix up in place than to stage in a temporary.
+  Bytes& buffer() { return out_; }
+
  private:
   Bytes& out_;
 };
@@ -99,8 +103,22 @@ class ByteReader {
 /// RFC 1071 Internet checksum over `data` (used by IPv4/UDP/TCP).
 std::uint16_t internet_checksum(BytesView data, std::uint32_t initial = 0);
 
-/// Partial sum for building pseudo-header checksums incrementally.
+/// Partial sum for building pseudo-header checksums incrementally.  Large
+/// buffers take a SIMD path (SSE2/AVX2 on x86-64, NEON on ARM, selected at
+/// runtime); the returned accumulator is fold-equivalent to the scalar
+/// sum, so checksum_finish() yields identical checksums either way.
+/// Precondition (satisfied by every wire format: buffers are < 64 KiB and
+/// `acc` is a pseudo-header partial sum): `acc` plus the word sum must not
+/// overflow 32 bits, or the scalar loop silently drops carries.
 std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc);
+
+/// The scalar reference sum (checksum.cpp); exposed so tests can pin the
+/// SIMD paths against it byte for byte.
+std::uint32_t checksum_accumulate_scalar(BytesView data, std::uint32_t acc);
+
+/// Name of the vector implementation checksum_accumulate dispatches to on
+/// this machine ("avx2", "sse2", "neon", or "scalar").
+const char* checksum_impl_name();
 
 /// Folds a 32-bit accumulator into the final 16-bit one's-complement sum.
 std::uint16_t checksum_finish(std::uint32_t acc);

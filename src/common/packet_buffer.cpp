@@ -14,31 +14,148 @@ std::uint64_t& inline_function_heap_allocs() {
 
 namespace {
 DatapathCounters g_datapath_counters;
+
+// ---- datapath freelists ---------------------------------------------------
+//
+// Two recycling layers cut the simulator's steady-state packet path to
+// zero heap traffic:
+//
+//   * a Bytes-capacity pool — wire serialisers acquire their output
+//     buffers here, and every retired Storage salvages its vector back
+//     (detail::recycle_storage_bytes), so payload-sized capacity circulates;
+//   * per-size block freelists behind a std::allocate_shared allocator —
+//     the Storage control block and the chained-tail PacketBuffer node are
+//     each one combined allocation that returns to its freelist when the
+//     last reference drops.
+//
+// The pools are intentionally leaked singletons: frames can outlive every
+// stack (deferred-destruction scheduler callbacks run at teardown), so a
+// static-destruction-ordered pool would be use-after-free bait.  Both are
+// bounded, keeping the retained memory small.
+
+constexpr std::size_t kMaxPooledBytes = 1024;       ///< entries
+constexpr std::size_t kMaxPooledCapacity = 256 * 1024;  ///< per entry
+constexpr std::size_t kMinPooledCapacity = 16;
+constexpr std::size_t kMaxPooledBlocks = 4096;      ///< per size class
+
+std::vector<Bytes>& bytes_pool() {
+  static auto* pool = new std::vector<Bytes>();
+  return *pool;
+}
+
+/// One-size block freelist; every allocate_shared rebinding gets its own.
+template <typename T>
+std::vector<void*>& block_pool() {
+  static auto* pool = new std::vector<void*>();
+  return *pool;
+}
+
+/// Minimal allocator routing allocate_shared's single combined
+/// (control block + object) allocation through a per-size freelist.
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>&) {}  // NOLINT: allocator rebind
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      auto& pool = block_pool<T>();
+      if (!pool.empty()) {
+        void* p = pool.back();
+        pool.pop_back();
+        g_datapath_counters.pool_hits++;
+        return static_cast<T*>(p);
+      }
+    }
+    g_datapath_counters.pool_misses++;
+    g_datapath_counters.allocations++;
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    auto& pool = block_pool<T>();
+    if (n == 1 && pool.size() < kMaxPooledBlocks) {
+      pool.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  friend bool operator==(const PoolAlloc&, const PoolAlloc<U>&) {
+    return true;
+  }
+};
+
 }  // namespace
+
+std::shared_ptr<PacketBuffer::Storage> PacketBuffer::make_storage(
+    Bytes data) {
+  auto storage = std::allocate_shared<Storage>(PoolAlloc<Storage>{});
+  storage->data = std::move(data);
+  return storage;
+}
 
 DatapathCounters& datapath_counters() { return g_datapath_counters; }
 
 void reset_datapath_counters() { g_datapath_counters = DatapathCounters{}; }
 
+Bytes acquire_pooled_bytes(std::size_t reserve) {
+  auto& pool = bytes_pool();
+  if (!pool.empty()) {
+    Bytes out = std::move(pool.back());
+    pool.pop_back();
+    if (out.capacity() >= reserve) {
+      g_datapath_counters.pool_hits++;
+      return out;
+    }
+    // Under-sized capacity: growing it is a real allocation, count it so.
+    g_datapath_counters.pool_misses++;
+    g_datapath_counters.allocations++;
+    out.reserve(reserve);
+    return out;
+  }
+  g_datapath_counters.pool_misses++;
+  g_datapath_counters.allocations++;
+  Bytes out;
+  out.reserve(reserve);
+  return out;
+}
+
+namespace detail {
+void recycle_storage_bytes(Bytes&& data) {
+  auto& pool = bytes_pool();
+  if (data.capacity() < kMinPooledCapacity ||
+      data.capacity() > kMaxPooledCapacity ||
+      pool.size() >= kMaxPooledBytes) {
+    return;  // the vector frees itself
+  }
+  data.clear();
+  pool.push_back(std::move(data));
+}
+}  // namespace detail
+
 PacketBuffer::PacketBuffer(Bytes data) {
   len_ = data.size();
-  if (len_ != 0) {
-    storage_ = std::make_shared<Storage>(Storage{std::move(data)});
-    g_datapath_counters.allocations++;
-  }
+  if (len_ != 0) storage_ = make_storage(std::move(data));
 }
 
 PacketBuffer PacketBuffer::copy_of(BytesView data) {
   g_datapath_counters.copies++;
   g_datapath_counters.copied_bytes += data.size();
-  return PacketBuffer(Bytes(data.begin(), data.end()));
+  Bytes copy = acquire_pooled_bytes(data.size());
+  copy.assign(data.begin(), data.end());
+  return PacketBuffer(std::move(copy));
 }
 
 PacketBuffer PacketBuffer::chain(Bytes header, PacketBuffer tail) {
   PacketBuffer head{std::move(header)};
   if (!tail.empty()) {
     head.tail_len_ = tail.size();
-    head.tail_ = std::make_shared<const PacketBuffer>(std::move(tail));
+    head.tail_ = std::allocate_shared<const PacketBuffer>(
+        PoolAlloc<const PacketBuffer>{}, std::move(tail));
   }
   return head;
 }
@@ -71,8 +188,7 @@ PacketBuffer PacketBuffer::slice(std::size_t offset, std::size_t len) const {
 Bytes PacketBuffer::flatten_copy() const {
   g_datapath_counters.copies++;
   g_datapath_counters.copied_bytes += size();
-  Bytes out;
-  out.reserve(size());
+  Bytes out = acquire_pooled_bytes(size());
   for_each_segment(
       [&](BytesView seg) { out.insert(out.end(), seg.begin(), seg.end()); });
   return out;
@@ -100,9 +216,7 @@ void CowBytes::ensure_unique() {
   }
   Bytes data =
       buffer_.storage_ == nullptr ? Bytes{} : buffer_.flatten_copy();
-  buffer_.storage_ =
-      std::make_shared<PacketBuffer::Storage>(PacketBuffer::Storage{std::move(data)});
-  datapath_counters().allocations++;
+  buffer_.storage_ = PacketBuffer::make_storage(std::move(data));
   buffer_.offset_ = 0;
   buffer_.len_ = buffer_.storage_->data.size();
   buffer_.tail_.reset();

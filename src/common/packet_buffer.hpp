@@ -34,15 +34,31 @@ namespace hydranet {
 
 /// Process-wide datapath buffer accounting (see DESIGN.md §8).
 struct DatapathCounters {
-  std::uint64_t allocations = 0;   ///< backing-store allocations
+  std::uint64_t allocations = 0;   ///< fresh heap allocations (pool misses)
   std::uint64_t copies = 0;        ///< explicit byte copies of any kind
   std::uint64_t copied_bytes = 0;  ///< bytes moved by those copies
   std::uint64_t cow_breaks = 0;    ///< mutations that unshared a buffer
   std::uint64_t flattens = 0;      ///< chained buffers gathered contiguous
+  std::uint64_t pool_hits = 0;     ///< acquisitions served from a freelist
+  std::uint64_t pool_misses = 0;   ///< acquisitions that hit the heap
 };
 
 DatapathCounters& datapath_counters();
 void reset_datapath_counters();
+
+/// An empty Bytes with at least `reserve` capacity, recycled from the
+/// datapath freelist when possible (counted in `datapath.pool.*`).  Wire
+/// serialisers use this so steady-state packet building reuses the byte
+/// buffers retired by earlier packets instead of hitting the allocator:
+/// when the Bytes is later adopted into a PacketBuffer, its capacity
+/// returns to the freelist once the last reference drops.
+Bytes acquire_pooled_bytes(std::size_t reserve);
+
+namespace detail {
+/// Salvages a retired backing store's capacity into the freelist (bounded;
+/// tiny or oversized capacities are simply freed).
+void recycle_storage_bytes(Bytes&& data);
+}  // namespace detail
 
 class PacketBuffer {
  public:
@@ -116,11 +132,15 @@ class PacketBuffer {
   friend class CowBytes;
   struct Storage {
     Bytes data;
+    ~Storage() { detail::recycle_storage_bytes(std::move(data)); }
   };
 
   PacketBuffer(std::shared_ptr<Storage> storage, std::size_t offset,
                std::size_t len)
       : storage_(std::move(storage)), offset_(offset), len_(len) {}
+
+  /// Builds a Storage around `data` via the block freelist (counted).
+  static std::shared_ptr<Storage> make_storage(Bytes data);
 
   std::shared_ptr<Storage> storage_;
   std::size_t offset_ = 0;

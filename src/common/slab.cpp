@@ -1,0 +1,19 @@
+#include "common/slab.hpp"
+
+namespace hydranet {
+
+namespace {
+SlabCounters g_slab_counters;
+}  // namespace
+
+SlabCounters& slab_counters() { return g_slab_counters; }
+
+void reset_slab_counters() {
+  // Live/page/byte gauges track real state across arenas; only the
+  // monotonic traffic counters reset.
+  g_slab_counters.allocated = 0;
+  g_slab_counters.recycled = 0;
+  g_slab_counters.freed = 0;
+}
+
+}  // namespace hydranet

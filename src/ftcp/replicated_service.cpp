@@ -85,7 +85,7 @@ void ReplicatedService::set_predecessor(
   predecessor_ = host_address;
   // Make sure the new predecessor learns our state promptly.
   if (predecessor_) {
-    for (auto& [key, state] : connections_) state.reported = false;
+    for (auto& [key, state] : connections_) state->reported = false;
     refresh_now();
   }
 }
@@ -98,8 +98,8 @@ void ReplicatedService::set_successor(
   // applies.  The gates re-open from the new successor's refresh reports
   // (or immediately, if we are now last in the chain).
   for (auto& [key, state] : connections_) {
-    state.has_info = false;
-    state.passthrough = false;
+    state->has_info = false;
+    state->passthrough = false;
   }
   poke_connections();
 }
@@ -133,7 +133,7 @@ std::uint32_t ReplicatedService::deposit_limit(
   ConnState* state = nullptr;
   if (successor_) {  // last in the chain has no gate
     auto it = connections_.find(connection.key());
-    if (it != connections_.end()) state = &it->second;
+    if (it != connections_.end()) state = it->second.get();
     if (state == nullptr || !state->has_info) {
       limit = connection.rcv_nxt_wire();  // successor state unknown: hold
     } else if (!state->passthrough) {
@@ -164,7 +164,7 @@ std::uint32_t ReplicatedService::transmit_limit(
   ConnState* state = nullptr;
   if (successor_) {
     auto it = connections_.find(connection.key());
-    if (it != connections_.end()) state = &it->second;
+    if (it != connections_.end()) state = it->second.get();
     if (state == nullptr || !state->has_info) {
       limit = connection.snd_nxt_wire();
     } else if (!state->passthrough) {
@@ -204,7 +204,7 @@ bool ReplicatedService::gate_marks(const tcp::TcpConnection& connection,
     return true;
   }
   auto it = connections_.find(connection.key());
-  if (it == connections_.end() || !it->second.has_info) {
+  if (it == connections_.end() || !it->second->has_info) {
     // Successor state unknown: hold at the current deposited/sent extents.
     out.deposit_unbounded = false;
     out.transmit_unbounded = false;
@@ -212,15 +212,15 @@ bool ReplicatedService::gate_marks(const tcp::TcpConnection& connection,
     out.transmit_mark = connection.snd_nxt_wire();
     return true;
   }
-  if (it->second.passthrough) {
+  if (it->second->passthrough) {
     out.deposit_unbounded = true;
     out.transmit_unbounded = true;
     return true;
   }
   out.deposit_unbounded = false;
   out.transmit_unbounded = false;
-  out.deposit_mark = it->second.succ_rcv_nxt;
-  out.transmit_mark = it->second.succ_snd_nxt;
+  out.deposit_mark = it->second->succ_rcv_nxt;
+  out.transmit_mark = it->second->succ_snd_nxt;
   return true;
 }
 
@@ -350,11 +350,11 @@ void ReplicatedService::on_connection_closed(tcp::TcpConnection& connection) {
   if (it != connections_.end()) {
     // Close out any stall interval still open on this connection so its
     // duration lands in the histograms.
-    track_gate(it->second.deposit_blocked_since, it->second.deposit_wait_ctx,
+    track_gate(it->second->deposit_blocked_since, it->second->deposit_wait_ctx,
                gate_stats_.deposit_stalls, gate_stats_.deposit_stall_ms,
                /*binding=*/false, trace2::span::kFtcpDepositWait,
                connection.key().remote.port);
-    track_gate(it->second.send_blocked_since, it->second.send_wait_ctx,
+    track_gate(it->second->send_blocked_since, it->second->send_wait_ctx,
                gate_stats_.send_stalls, gate_stats_.send_stall_ms,
                /*binding=*/false, trace2::span::kFtcpSendWait,
                connection.key().remote.port);
@@ -368,11 +368,12 @@ ReplicatedService::ConnState& ReplicatedService::state_for(
     const tcp::ConnectionKey& key) {
   auto [it, inserted] = connections_.try_emplace(key);
   if (inserted) {
-    it->second.detector = RetransmissionDetector(config_.detector);
-    it->second.send_detector = RetransmissionDetector(config_.detector);
+    it->second = state_arena_.create_unique();
+    it->second->detector = RetransmissionDetector(config_.detector);
+    it->second->send_detector = RetransmissionDetector(config_.detector);
   }
-  it->second.last_activity = host_.scheduler().now();
-  return it->second;
+  it->second->last_activity = host_.scheduler().now();
+  return *it->second;
 }
 
 std::shared_ptr<tcp::TcpConnection> ReplicatedService::live_connection(
@@ -482,7 +483,7 @@ void ReplicatedService::refresh() {
   sim::TimePoint now = host_.scheduler().now();
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (live_connection(it->first) == nullptr &&
-        now - it->second.last_activity > kStateGcAge) {
+        now - it->second->last_activity > kStateGcAge) {
       it = connections_.erase(it);
     } else {
       ++it;
@@ -495,10 +496,10 @@ ReplicatedService::connection_info(const tcp::ConnectionKey& key) const {
   auto it = connections_.find(key);
   if (it == connections_.end()) return std::nullopt;
   ConnectionInfo info;
-  info.has_successor_info = it->second.has_info;
-  info.passthrough = it->second.passthrough;
-  info.successor_snd_nxt = it->second.succ_snd_nxt;
-  info.successor_rcv_nxt = it->second.succ_rcv_nxt;
+  info.has_successor_info = it->second->has_info;
+  info.passthrough = it->second->passthrough;
+  info.successor_snd_nxt = it->second->succ_snd_nxt;
+  info.successor_rcv_nxt = it->second->succ_rcv_nxt;
   return info;
 }
 

@@ -24,6 +24,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/slab.hpp"
 #include "ftcp/ack_channel.hpp"
 #include "ftcp/failure_detector.hpp"
 #include "host/host.hpp"
@@ -192,7 +193,12 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   std::optional<net::Ipv4Address> predecessor_;
   std::optional<net::Ipv4Address> successor_;
   FailureCallback failure_callback_;
-  std::unordered_map<tcp::ConnectionKey, ConnState, tcp::ConnectionKeyHash>
+  /// Gate states live in a slab (like the TCP connections they shadow):
+  /// churn recycles slots instead of hitting the allocator, and the flat
+  /// page footprint is visible through `datapath.slab.*`.
+  SlabArena<ConnState> state_arena_;
+  std::unordered_map<tcp::ConnectionKey, SlabArena<ConnState>::UniquePtr,
+                     tcp::ConnectionKeyHash>
       connections_;
   sim::TimerId refresh_timer_ = sim::kInvalidTimer;
   bool shut_down_ = false;

@@ -6,6 +6,7 @@
 #include "common/inline_function.hpp"
 #include "common/logging.hpp"
 #include "common/packet_buffer.hpp"
+#include "common/slab.hpp"
 #include "trace2/recorder.hpp"
 #include "verify/invariant.hpp"
 
@@ -58,6 +59,7 @@ void Host::publish_metrics(stats::Registry& registry) const {
                        tcp.duplicate_segments_seen);
   registry.set_counter(name_, "tcp.zero_window_probes", tcp.zero_window_probes);
   registry.set_counter(name_, "tcp.sack_retransmits", tcp.sack_retransmits);
+  registry.set_counter(name_, "tcp.keepalives_sent", tcp.keepalives_sent);
   registry.set_counter(name_, "tcp.fastpath.hits", tcp.fastpath_hits);
   registry.set_counter(name_, "tcp.fastpath.misses", tcp.fastpath_misses);
   // Derived gauge: fraction of inbound segments the header-prediction fast
@@ -68,7 +70,7 @@ void Host::publish_metrics(stats::Registry& registry) const {
                          ? 0.0
                          : static_cast<double>(tcp.fastpath_hits) /
                                static_cast<double>(classified));
-  registry.set_histogram(name_, "tcp.cwnd_bytes", tcp.cwnd_bytes);
+  registry.set_histogram(name_, "tcp.cwnd_bytes", tcp_.cwnd_histogram());
 }
 
 Network::Network(std::uint64_t seed)
@@ -134,8 +136,20 @@ void Network::publish_metrics() {
   metrics_.set_counter("datapath", "datapath.copied_bytes", dp.copied_bytes);
   metrics_.set_counter("datapath", "datapath.cow_breaks", dp.cow_breaks);
   metrics_.set_counter("datapath", "datapath.flattens", dp.flattens);
+  metrics_.set_counter("datapath", "datapath.pool.hits", dp.pool_hits);
+  metrics_.set_counter("datapath", "datapath.pool.misses", dp.pool_misses);
+  const SlabCounters& slab = slab_counters();
+  metrics_.set_counter("datapath", "datapath.slab.pages", slab.pages);
+  metrics_.set_counter("datapath", "datapath.slab.live", slab.live);
+  metrics_.set_counter("datapath", "datapath.slab.allocated", slab.allocated);
+  metrics_.set_counter("datapath", "datapath.slab.recycled", slab.recycled);
+  metrics_.set_counter("datapath", "datapath.slab.freed", slab.freed);
+  metrics_.set_counter("datapath", "datapath.slab.bytes", slab.bytes);
   metrics_.set_counter("scheduler", "scheduler.alloc_fallbacks",
                        inline_function_heap_allocs());
+  const link::BatchCounters& batch = link::batch_counters();
+  metrics_.set_counter("scheduler", "scheduler.batch.bursts", batch.bursts);
+  metrics_.set_counter("scheduler", "scheduler.batch.packets", batch.packets);
   metrics_.set_counter("scheduler", "scheduler.wheel.inserts",
                        scheduler_.wheel_inserts());
   metrics_.set_counter("scheduler", "scheduler.wheel.cascades",

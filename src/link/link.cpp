@@ -5,6 +5,13 @@
 
 namespace hydranet::link {
 
+BatchCounters& batch_counters() {
+  static BatchCounters counters;
+  return counters;
+}
+
+void reset_batch_counters() { batch_counters() = BatchCounters{}; }
+
 Status NetworkInterface::send(PacketBuffer frame) {
   if (!up_) return Errc::no_route;
   if (link_ == nullptr) return Errc::no_route;
@@ -34,6 +41,20 @@ void NetworkInterface::handle_rx(PacketBuffer frame) {
   if (rx_handler_) rx_handler_(std::move(frame));
 }
 
+void NetworkInterface::handle_rx_burst(PacketBuffer* frames,
+                                       std::size_t count) {
+  if (!up_) return;
+  rx_packets_ += count;
+  for (std::size_t i = 0; i < count; ++i) rx_bytes_ += frames[i].size();
+  if (rx_burst_handler_) {
+    rx_burst_handler_(frames, count);  // one call for the whole span
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rx_handler_) rx_handler_(std::move(frames[i]));
+  }
+}
+
 Link::Link(sim::Scheduler& scheduler, Config config)
     : scheduler_(scheduler),
       config_(config),
@@ -42,6 +63,12 @@ Link::Link(sim::Scheduler& scheduler, Config config)
                       std::make_unique<BernoulliLoss>(config.loss_probability))
                 : std::make_unique<NoLoss>()),
       rng_(config.seed) {}
+
+Link::~Link() {
+  // Flush callbacks capture `this`; revoke them before the link goes.
+  scheduler_.cancel(toward_a_.rx_flush_timer);
+  scheduler_.cancel(toward_b_.rx_flush_timer);
+}
 
 void Link::attach(NetworkInterface& a, NetworkInterface& b) {
   end_a_ = &a;
@@ -98,6 +125,10 @@ Status Link::transmit(const NetworkInterface* from, PacketBuffer frame) {
     stats_.loss_drops++;
     return Status::success();
   }
+  if (config_.batch_frames > 1) {
+    enqueue_arrival(dir, arrival, std::move(frame));
+    return Status::success();
+  }
   NetworkInterface* destination = dir.destination;
   scheduler_.schedule_at(
       arrival, [this, destination, frame = std::move(frame)]() mutable {
@@ -109,6 +140,67 @@ Status Link::transmit(const NetworkInterface* from, PacketBuffer frame) {
         destination->handle_rx(std::move(frame));
       });
   return Status::success();
+}
+
+// ---- batched rx (config.batch_frames > 1) ---------------------------------
+
+void Link::enqueue_arrival(Direction& dir, sim::TimePoint arrival,
+                           PacketBuffer frame) {
+  dir.rx_pending.emplace_back(arrival, std::move(frame));
+  if (!dir.rx_flush_scheduled) {
+    dir.rx_flush_scheduled = true;
+    dir.rx_flush_at = arrival;
+    dir.rx_flush_timer =
+        scheduler_.schedule_at(arrival, [this, &dir] { flush_rx(dir); });
+  } else if (dir.rx_pending.size() == config_.batch_frames &&
+             arrival > dir.rx_flush_at) {
+    // The batch just filled: coalesce into one event at its newest
+    // member's arrival.  Only the fill transition postpones (never later
+    // frames), so delivery lags a frame's own arrival by at most
+    // batch_frames serialisation times.
+    scheduler_.cancel(dir.rx_flush_timer);
+    dir.rx_flush_at = arrival;
+    dir.rx_flush_timer =
+        scheduler_.schedule_at(arrival, [this, &dir] { flush_rx(dir); });
+  }
+}
+
+void Link::flush_rx(Direction& dir) {
+  dir.rx_flush_scheduled = false;
+  dir.rx_flush_timer = sim::kInvalidTimer;
+  const sim::TimePoint now = scheduler_.now();
+  // Everything due by now leaves as one span, in arrival order.  Move the
+  // span out first: handle_rx_burst can synchronously transmit (TCP ACKs)
+  // and grow rx_pending behind it.
+  std::size_t due = 0;
+  while (due < dir.rx_pending.size() && dir.rx_pending[due].first <= now) {
+    due++;
+  }
+  if (due > 0) {
+    std::vector<PacketBuffer> burst;
+    burst.reserve(due);
+    for (std::size_t i = 0; i < due; ++i) {
+      burst.push_back(std::move(dir.rx_pending[i].second));
+    }
+    dir.rx_pending.erase(dir.rx_pending.begin(),
+                         dir.rx_pending.begin() +
+                             static_cast<std::ptrdiff_t>(due));
+    if (down_) {
+      stats_.down_drops += due;
+    } else {
+      stats_.delivered += due;
+      BatchCounters& c = batch_counters();
+      c.bursts++;
+      c.packets += due;
+      dir.destination->handle_rx_burst(burst.data(), burst.size());
+    }
+  }
+  if (!dir.rx_pending.empty() && !dir.rx_flush_scheduled) {
+    dir.rx_flush_scheduled = true;
+    dir.rx_flush_at = dir.rx_pending.front().first;
+    dir.rx_flush_timer = scheduler_.schedule_at(dir.rx_flush_at,
+                                                [this, &dir] { flush_rx(dir); });
+  }
 }
 
 }  // namespace hydranet::link

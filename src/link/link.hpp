@@ -5,8 +5,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/packet_buffer.hpp"
@@ -19,6 +20,17 @@
 
 namespace hydranet::link {
 
+/// Process-wide rx-burst accounting (`scheduler.batch.*`, DESIGN.md §8).
+/// A burst is one scheduler event that delivered frames through a batching
+/// link's rx path; `packets` is how many frames those bursts carried.
+/// Links with batch_frames <= 1 never touch these.
+struct BatchCounters {
+  std::uint64_t bursts = 0;
+  std::uint64_t packets = 0;
+};
+BatchCounters& batch_counters();
+void reset_batch_counters();
+
 class Link {
  public:
   struct Config {
@@ -27,6 +39,15 @@ class Link {
     std::size_t queue_capacity_packets = 64;  ///< drop-tail threshold
     double loss_probability = 0.0;            ///< shortcut for BernoulliLoss
     std::uint64_t seed = 1;
+    /// Frames delivered per rx scheduler event.  1 (the default) is the
+    /// legacy path: one event per frame at its exact arrival instant.
+    /// Larger values amortise event dispatch over bursts — frames that
+    /// became due together are handed to the interface as one span, and a
+    /// full batch is coalesced into a single event at its newest member's
+    /// arrival (bounded extra latency: at most batch_frames serialisation
+    /// times).  Batching preserves streams, not timelines; see
+    /// tests/test_batch_property.cpp.
+    std::size_t batch_frames = 1;
   };
 
   struct Stats {
@@ -37,6 +58,7 @@ class Link {
   };
 
   Link(sim::Scheduler& scheduler, Config config);
+  ~Link();
 
   /// Wires the link between two interfaces (sets their link pointers).
   void attach(NetworkInterface& a, NetworkInterface& b);
@@ -78,9 +100,18 @@ class Link {
     NetworkInterface* destination = nullptr;
     sim::TimePoint transmitter_free{};
     std::size_t queued = 0;
+    /// Batched rx (config.batch_frames > 1): frames awaiting delivery with
+    /// their arrival instants, plus the one pending flush event.
+    std::vector<std::pair<sim::TimePoint, PacketBuffer>> rx_pending;
+    sim::TimerId rx_flush_timer = sim::kInvalidTimer;
+    sim::TimePoint rx_flush_at{};
+    bool rx_flush_scheduled = false;
   };
 
   Direction& direction_from(const NetworkInterface* from);
+  void enqueue_arrival(Direction& dir, sim::TimePoint arrival,
+                       PacketBuffer frame);
+  void flush_rx(Direction& dir);
 
   sim::Scheduler& scheduler_;
   Config config_;

@@ -3,26 +3,27 @@
 namespace hydranet::net {
 
 void Ipv4Header::serialize(ByteWriter& w) const {
-  Bytes header;
-  header.reserve(kSize);
-  ByteWriter h(header);
-  h.u8(0x45);  // version 4, IHL 5
-  h.u8(tos);
-  h.u16(total_length);
-  h.u16(identification);
+  // Write straight into the caller's buffer and patch the checksum in
+  // place — no 20-byte staging vector on the per-packet path.
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(total_length);
+  w.u16(identification);
   std::uint16_t flags_frag = fragment_offset & 0x1fff;
   if (dont_fragment) flags_frag |= 0x4000;
   if (more_fragments) flags_frag |= 0x2000;
-  h.u16(flags_frag);
-  h.u8(ttl);
-  h.u8(static_cast<std::uint8_t>(protocol));
-  h.u16(0);  // checksum placeholder
-  h.u32(src.value());
-  h.u32(dst.value());
-  std::uint16_t checksum = internet_checksum(header);
-  header[10] = static_cast<std::uint8_t>(checksum >> 8);
-  header[11] = static_cast<std::uint8_t>(checksum & 0xff);
-  w.raw(header);
+  w.u16(flags_frag);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  Bytes& out = w.buffer();
+  std::uint16_t checksum =
+      internet_checksum(BytesView(out.data() + start, kSize));
+  out[start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(checksum & 0xff);
 }
 
 Result<Ipv4Header> Ipv4Header::parse(ByteReader& r) {
@@ -51,8 +52,7 @@ Result<Ipv4Header> Ipv4Header::parse(ByteReader& r) {
 }
 
 Bytes Datagram::serialize() const {
-  Bytes wire;
-  wire.reserve(size());
+  Bytes wire = acquire_pooled_bytes(size());
   ByteWriter w(wire);
   Ipv4Header h = header;
   h.total_length = static_cast<std::uint16_t>(size());
@@ -62,8 +62,7 @@ Bytes Datagram::serialize() const {
 }
 
 PacketBuffer Datagram::to_frame() const {
-  Bytes hdr;
-  hdr.reserve(Ipv4Header::kSize);
+  Bytes hdr = acquire_pooled_bytes(Ipv4Header::kSize);
   ByteWriter w(hdr);
   Ipv4Header h = header;
   h.total_length = static_cast<std::uint16_t>(size());
@@ -123,15 +122,20 @@ Result<Datagram> Datagram::parse(const PacketBuffer& frame) {
 
 std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
                                 IpProto proto, std::uint16_t length) {
-  Bytes pseudo;
-  pseudo.reserve(12);
-  ByteWriter w(pseudo);
-  w.u32(src.value());
-  w.u32(dst.value());
-  w.u8(0);
-  w.u8(static_cast<std::uint8_t>(proto));
-  w.u16(length);
-  return checksum_accumulate(pseudo, 0);
+  // Stack-built: this runs 2-4 times per packet (serialise + verify on
+  // both transports), so it must never touch the allocator.
+  const std::uint32_t s = src.value();
+  const std::uint32_t d = dst.value();
+  const std::uint8_t pseudo[12] = {
+      static_cast<std::uint8_t>(s >> 24), static_cast<std::uint8_t>(s >> 16),
+      static_cast<std::uint8_t>(s >> 8),  static_cast<std::uint8_t>(s),
+      static_cast<std::uint8_t>(d >> 24), static_cast<std::uint8_t>(d >> 16),
+      static_cast<std::uint8_t>(d >> 8),  static_cast<std::uint8_t>(d),
+      0,
+      static_cast<std::uint8_t>(proto),
+      static_cast<std::uint8_t>(length >> 8),
+      static_cast<std::uint8_t>(length)};
+  return checksum_accumulate(BytesView(pseudo, 12), 0);
 }
 
 }  // namespace hydranet::net

@@ -44,8 +44,7 @@ Bytes serialize_tcp(const TcpSegment& segment, Ipv4Address src,
   const std::size_t header_len = TcpHeader::kSize + options.size();
   auto total = static_cast<std::uint16_t>(header_len + segment.payload.size());
 
-  Bytes wire;
-  wire.reserve(total);
+  Bytes wire = acquire_pooled_bytes(total);
   ByteWriter w(wire);
   w.u16(h.src_port);
   w.u16(h.dst_port);

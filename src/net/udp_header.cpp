@@ -5,8 +5,7 @@ namespace hydranet::net {
 Bytes serialize_udp(const UdpHeader& header, BytesView payload,
                     Ipv4Address src, Ipv4Address dst) {
   auto length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
-  Bytes wire;
-  wire.reserve(length);
+  Bytes wire = acquire_pooled_bytes(length);
   ByteWriter w(wire);
   w.u16(header.src_port);
   w.u16(header.dst_port);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "tcp/tcp_stack.hpp"
@@ -28,9 +29,9 @@ void TcpConnection::Stats::merge(const Stats& other) {
   dup_acks += other.dup_acks;
   zero_window_probes += other.zero_window_probes;
   sack_retransmits += other.sack_retransmits;
+  keepalives_sent += other.keepalives_sent;
   fastpath_hits += other.fastpath_hits;
   fastpath_misses += other.fastpath_misses;
-  cwnd_bytes.merge(other.cwnd_bytes);
 }
 
 namespace {
@@ -160,8 +161,7 @@ Result<std::size_t> TcpConnection::send(BytesView data) {
       trace2::begin_root(stack_.ip().node_name());
   sim::TimePoint write_start = scheduler_.now();
   trace_root_ctx_ = root;
-  send_data_.insert(send_data_.end(), data.begin(),
-                    data.begin() + static_cast<std::ptrdiff_t>(n));
+  send_data_.append(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
   if (options_.packetize_writes) {
     write_boundaries_.push_back(send_data_base_ + send_data_.size());
   }
@@ -184,10 +184,9 @@ Result<Bytes> TcpConnection::recv(std::size_t max) {
   }
   std::size_t before_window = advertised_window();
   std::size_t n = std::min(max, readable_.size());
-  Bytes out(readable_.begin(),
-            readable_.begin() + static_cast<std::ptrdiff_t>(n));
-  readable_.erase(readable_.begin(),
-                  readable_.begin() + static_cast<std::ptrdiff_t>(n));
+  Bytes out;
+  readable_.copy_range(0, n, out);
+  readable_.pop_front(n);
   stats_.bytes_received_app += n;
   // If we had closed the window, announce the newly-opened space so the
   // peer is not left probing.  Receiver-side SWS avoidance (RFC 1122
@@ -271,6 +270,10 @@ void TcpConnection::enter_established() {
   if (state_ == TcpState::established) return;
   state_ = TcpState::established;
   HLOG(debug, kLog) << key_.to_string() << " ESTABLISHED";
+  if (options_.keepalive_interval.ns > 0) {
+    last_activity_ = scheduler_.now();
+    request_page_tick(last_activity_ + options_.keepalive_interval);
+  }
   stack_.notify_established(*this);
   if (hooks_) hooks_->on_established(*this);
   if (on_established_) on_established_();
@@ -319,6 +322,7 @@ void TcpConnection::notify_writable() {
 void TcpConnection::on_segment(const net::TcpSegment& segment) {
   stats_.segments_received++;
   if (state_ == TcpState::closed) return;
+  last_activity_ = scheduler_.now();  // feeds the keepalive clock
 #if HYDRANET_INVARIANTS
   const std::uint64_t rcv_nxt_before = rcv_nxt_;
   const std::uint64_t snd_una_before = snd_una_;
@@ -402,7 +406,7 @@ void TcpConnection::test_corrupt_gate_cache() {
 
 void TcpConnection::test_deposit_out_of_window(std::size_t len) {
   const std::uint64_t rcv_nxt_before = rcv_nxt_;
-  readable_.insert(readable_.end(), len, std::uint8_t{0});
+  readable_.append_fill(len, std::uint8_t{0});
   rcv_nxt_ += len;
   check_stream_invariants(rcv_nxt_before, snd_una_);
 }
@@ -458,8 +462,7 @@ bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
     while (!send_data_.empty() && send_data_base_ < ack_off) {
       std::size_t drop = std::min<std::uint64_t>(ack_off - send_data_base_,
                                                  send_data_.size());
-      send_data_.erase(send_data_.begin(),
-                       send_data_.begin() + static_cast<std::ptrdiff_t>(drop));
+      send_data_.pop_front(drop);
       send_data_base_ += drop;
     }
     snd_una_ = ack_off;
@@ -477,7 +480,7 @@ bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
     } else {
       cwnd_ += std::max<std::size_t>(1, mss * mss / cwnd_);  // avoidance
     }
-    stats_.cwnd_bytes.observe(static_cast<double>(cwnd_));
+    stack_.observe_cwnd(static_cast<double>(cwnd_));
     if (snd_una_ == snd_max_) {
       cancel_rto();
     } else {
@@ -489,8 +492,7 @@ bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
   if (len > 0) {
     // Straight-line deposit: what insert-then-deposit_in_order() would do
     // with an empty reassembly buffer and an open (or absent) gate.
-    readable_.insert(readable_.end(), segment.payload.begin(),
-                     segment.payload.end());
+    readable_.append(segment.payload.begin(), segment.payload.end());
     rcv_nxt_ += len;
     ack_pending_ = true;
     notify_readable();
@@ -693,8 +695,7 @@ void TcpConnection::process_ack(const net::TcpSegment& segment) {
     while (!send_data_.empty() && send_data_base_ < ack_off) {
       std::size_t drop = std::min<std::uint64_t>(ack_off - send_data_base_,
                                                  send_data_.size());
-      send_data_.erase(send_data_.begin(),
-                       send_data_.begin() + static_cast<std::ptrdiff_t>(drop));
+      send_data_.pop_front(drop);
       send_data_base_ += drop;
     }
     snd_una_ = ack_off;
@@ -722,7 +723,7 @@ void TcpConnection::process_ack(const net::TcpSegment& segment) {
     } else {
       cwnd_ += std::max<std::size_t>(1, mss * mss / cwnd_);  // avoidance
     }
-    stats_.cwnd_bytes.observe(static_cast<double>(cwnd_));
+    stack_.observe_cwnd(static_cast<double>(cwnd_));
 
     if (snd_una_ == snd_max_) {
       cancel_rto();
@@ -766,9 +767,8 @@ void TcpConnection::process_ack(const net::TcpSegment& segment) {
           std::size_t from = snd_una_ - send_data_base_;
           std::size_t len = std::min<std::size_t>(
               effective_mss(), send_data_.size() - from);
-          Bytes payload(send_data_.begin() + static_cast<std::ptrdiff_t>(from),
-                        send_data_.begin() +
-                            static_cast<std::ptrdiff_t>(from + len));
+          Bytes payload;
+          send_data_.copy_range(from, len, payload);
           bool fin_now = fin_queued_ && snd_una_ + len == fin_off_ &&
                          len < effective_mss();
           send_segment(snd_una_, payload, false, fin_now, true, true);
@@ -854,7 +854,7 @@ void TcpConnection::deposit_in_order() {
   std::uint64_t data_limit = std::min(limit, in_end);
   if (data_limit > rcv_nxt_) {
     Bytes data = reassembly_.extract(rcv_nxt_, data_limit);
-    readable_.insert(readable_.end(), data.begin(), data.end());
+    readable_.append(data.begin(), data.end());
     rcv_nxt_ = data_limit;
     ack_pending_ = true;
     notify_readable();
@@ -950,7 +950,7 @@ void TcpConnection::output() {
       // A segment never spans an application write boundary.
       while (!write_boundaries_.empty() &&
              write_boundaries_.front() <= snd_nxt_) {
-        write_boundaries_.pop_front();
+        write_boundaries_.pop_front(1);
       }
       if (!write_boundaries_.empty()) {
         desired = static_cast<std::size_t>(std::min<std::uint64_t>(
@@ -975,8 +975,8 @@ void TcpConnection::output() {
       break;
     }
     std::size_t from = snd_nxt_ - send_data_base_;
-    Bytes payload(send_data_.begin() + static_cast<std::ptrdiff_t>(from),
-                  send_data_.begin() + static_cast<std::ptrdiff_t>(from + len));
+    Bytes payload;
+    send_data_.copy_range(from, len, payload);
     bool fin_now = false;  // FIN rides its own segment for gating clarity
     bool psh = (snd_nxt_ + len == data_end);
     if (!rtt_sampling_ && rto_backoff_ == 0) {
@@ -1043,6 +1043,7 @@ void TcpConnection::send_segment(std::uint64_t seq_off, BytesView payload,
   segment.payload.assign(payload.begin(), payload.end());
 
   stats_.segments_sent++;
+  last_activity_ = scheduler_.now();  // outbound traffic resets keepalive
   if (ack) {
     ack_pending_ = false;
     delack_segments_ = 0;
@@ -1115,11 +1116,24 @@ void TcpConnection::send_rst(std::uint32_t seq) {
 
 void TcpConnection::arm_rto() {
   cancel_rto();
+  if (options_.coalesce_timers) {
+    // Ride the page tick: publish the deadline instead of scheduling an
+    // event.  The page timer fires at the earliest deadline on the page,
+    // so this connection's RTO still fires at exactly this instant.
+    rto_armed_coalesced_ = true;
+    rto_deadline_ = scheduler_.now() + rtt_.backed_off_rto(rto_backoff_);
+    request_page_tick(rto_deadline_);
+    return;
+  }
   rto_timer_ = scheduler_.schedule_after(rtt_.backed_off_rto(rto_backoff_),
                                          [this] { on_rto(); });
 }
 
 void TcpConnection::cancel_rto() {
+  // The page timer is not cancelled on the coalesced path — it fires and
+  // finds nothing due (one spurious wakeup per page at worst), which is
+  // cheaper than re-deriving the page minimum on every ACK.
+  rto_armed_coalesced_ = false;
   scheduler_.cancel(rto_timer_);
   rto_timer_ = sim::kInvalidTimer;
 }
@@ -1172,8 +1186,8 @@ void TcpConnection::retransmit_one_segment() {
     std::size_t len = static_cast<std::size_t>(std::min<std::uint64_t>(
         {effective_mss(), send_data_.size() - from, sent_extent}));
     if (len == 0) return;
-    Bytes payload(send_data_.begin() + static_cast<std::ptrdiff_t>(from),
-                  send_data_.begin() + static_cast<std::ptrdiff_t>(from + len));
+    Bytes payload;
+    send_data_.copy_range(from, len, payload);
     send_segment(snd_una_, payload, false, false, true, true);
   }
 }
@@ -1196,13 +1210,55 @@ void TcpConnection::on_probe() {
   // its window (classic window probe).
   stats_.zero_window_probes++;
   std::size_t from = snd_nxt_ - send_data_base_;
-  Bytes payload(send_data_.begin() + static_cast<std::ptrdiff_t>(from),
-                send_data_.begin() + static_cast<std::ptrdiff_t>(from + 1));
+  Bytes payload;
+  send_data_.copy_range(from, 1, payload);
   send_segment(snd_nxt_, payload, false, false, true, true);
   snd_nxt_ += 1;
   snd_max_ = std::max(snd_max_, snd_nxt_);
   arm_rto();
   arm_probe();
+}
+
+// ---- coalesced page tick ----------------------------------------------------
+
+namespace {
+constexpr sim::TimePoint kNever{std::numeric_limits<std::int64_t>::max()};
+}
+
+void TcpConnection::request_page_tick(sim::TimePoint when) {
+  stack_.request_page_tick(slab_slot_ / SlabArena<TcpConnection>::kPageSlots,
+                           when);
+}
+
+sim::TimePoint TcpConnection::page_tick_deadline() const {
+  sim::TimePoint due = kNever;
+  if (state_ == TcpState::established && options_.keepalive_interval.ns > 0) {
+    due = last_activity_ + options_.keepalive_interval;
+  }
+  if (rto_armed_coalesced_ && rto_deadline_ < due) due = rto_deadline_;
+  return due;
+}
+
+void TcpConnection::on_page_tick(sim::TimePoint now) {
+  if (rto_armed_coalesced_ && now >= rto_deadline_) {
+    rto_armed_coalesced_ = false;
+    on_rto();  // may re-arm, or close the connection
+    if (state_ == TcpState::closed) return;
+  }
+  if (state_ == TcpState::established && options_.keepalive_interval.ns > 0 &&
+      now - last_activity_ >= options_.keepalive_interval) {
+    send_keepalive_probe();
+  }
+}
+
+void TcpConnection::send_keepalive_probe() {
+  stats_.keepalives_sent++;
+  // Classic BSD keepalive: a zero-length segment whose sequence number sits
+  // one byte below the window.  A probe at snd_nxt would be silently
+  // acceptable and elicit nothing; this one fails the peer's sequence test
+  // and forces a duplicate ACK.  send_segment() refreshes last_activity_,
+  // which pushes the next probe one interval out.
+  send_segment(snd_nxt_ - 1, {}, false, false, true, false);
 }
 
 void TcpConnection::sack_merge(std::uint64_t left, std::uint64_t right) {
@@ -1244,8 +1300,8 @@ bool TcpConnection::retransmit_next_hole() {
   std::size_t from = static_cast<std::size_t>(cursor - send_data_base_);
   std::size_t len = static_cast<std::size_t>(
       std::min<std::uint64_t>(effective_mss(), hole_end - cursor));
-  Bytes payload(send_data_.begin() + static_cast<std::ptrdiff_t>(from),
-                send_data_.begin() + static_cast<std::ptrdiff_t>(from + len));
+  Bytes payload;
+  send_data_.copy_range(from, len, payload);
   stats_.sack_retransmits++;
   send_segment(cursor, payload, false, false, true, true);
   sack_hole_cursor_ = cursor + len;

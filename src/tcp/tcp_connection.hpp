@@ -8,12 +8,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
+#include "common/ring_queue.hpp"
+#include "common/slab.hpp"
 #include "net/tcp_header.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/metrics.hpp"
@@ -40,17 +41,19 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
     std::uint64_t dup_acks = 0;           ///< duplicate ACKs received
     std::uint64_t zero_window_probes = 0;
     std::uint64_t sack_retransmits = 0;  ///< hole repairs from the scoreboard
+    std::uint64_t keepalives_sent = 0;   ///< idle probes off the page tick
     /// Header prediction: segments fully handled by the fast path vs
     /// segments that fell through to the full state machine (only counted
     /// while the fast path is enabled and the connection is past the
     /// handshake).
     std::uint64_t fastpath_hits = 0;
     std::uint64_t fastpath_misses = 0;
-    /// Congestion window, sampled at every cumulative-ACK advance.
-    stats::Histogram cwnd_bytes{stats::cwnd_buckets()};
-
     /// Accumulates `other` into this (per-node aggregation across
-    /// connections; see TcpStack::aggregate_stats()).
+    /// connections; see TcpStack::aggregate_stats()).  The congestion
+    /// window histogram is not here: connections observe into one
+    /// stack-level histogram (TcpStack::cwnd_histogram()) directly, so a
+    /// million connections don't each carry two bucket vectors for a
+    /// diagnostic that is only ever read merged.
     void merge(const Stats& other);
   };
 
@@ -93,12 +96,28 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// close, otherwise the failure reason.
   void set_on_closed(std::function<void(Errc)> cb) { on_closed_ = std::move(cb); }
 
+  /// Drops all app-facing callbacks.  Handlers routinely capture the
+  /// connection's own shared_ptr (pump lambdas), which would cycle and pin
+  /// the slab slot forever; the stack calls this one event after removal,
+  /// when no handler can still be on the call stack.
+  void release_app_callbacks() {
+    on_established_ = nullptr;
+    on_readable_ = nullptr;
+    on_writable_ = nullptr;
+    on_closed_ = nullptr;
+  }
+
   // ---- introspection ----------------------------------------------------
 
   TcpState state() const { return state_; }
   const ConnectionKey& key() const { return key_; }
   const Stats& stats() const { return stats_; }
   const TcpOptions& options() const { return options_; }
+
+  /// Slab-slot index within the stack's connection arena (page =
+  /// slot / SlabArena<>::kPageSlots); the coalesced-timer machinery keys
+  /// page membership off this.
+  std::uint32_t slab_slot() const { return slab_slot_; }
 
   std::uint32_t iss() const { return iss_; }
   std::uint32_t irs() const { return irs_; }
@@ -169,6 +188,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
  private:
   friend class TcpStack;
+  // The slab arena placement-constructs connections; nothing else may —
+  // run_static.py bans direct heap allocation of this type.
+  friend class hydranet::SlabArena<TcpConnection>;
 
   TcpConnection(TcpStack& stack, ConnectionKey key, TcpOptions options);
 
@@ -229,6 +251,18 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void on_probe();
   void enter_time_wait();
 
+  // Coalesced per-page tick (driven by TcpStack; see
+  // TcpStack::request_page_tick).  A connection never schedules its own
+  // keepalive event: it publishes a deadline and the stack runs one
+  // scheduler event per 64-slot slab page.
+  /// Earliest instant this connection wants the page tick to visit it
+  /// (TimePoint{INT64_MAX} = never).
+  sim::TimePoint page_tick_deadline() const;
+  /// Fires whichever coalesced deadlines have passed.
+  void on_page_tick(sim::TimePoint now);
+  void send_keepalive_probe();
+  void request_page_tick(sim::TimePoint when);
+
   // Lifecycle.
   void enter_established();
   void enter_closed(Errc reason);
@@ -252,6 +286,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TcpStack& stack_;
   sim::Scheduler& scheduler_;
   ConnectionKey key_;
+  std::uint32_t slab_slot_ = 0;  ///< index in TcpStack::arena_
   TcpOptions options_;
   TcpState state_ = TcpState::closed;
   TcpConnectionHooks* hooks_ = nullptr;
@@ -278,9 +313,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::size_t snd_wnd_ = 0;     ///< peer's advertised window
   std::uint64_t snd_wl1_ = 0;   ///< seq offset of last window update
   std::uint64_t snd_wl2_ = 0;   ///< ack offset of last window update
-  std::deque<std::uint8_t> send_data_;  ///< unacked+unsent app bytes
-  std::uint64_t send_data_base_ = 1;    ///< offset of send_data_.front()
-  std::deque<std::uint64_t> write_boundaries_;  ///< when packetize_writes
+  RingQueue<std::uint8_t> send_data_;  ///< unacked+unsent app bytes
+  std::uint64_t send_data_base_ = 1;   ///< offset of send_data_.front()
+  RingQueue<std::uint64_t> write_boundaries_;  ///< when packetize_writes
   bool fin_queued_ = false;
   std::uint64_t fin_off_ = 0;   ///< offset of our FIN once determined
 
@@ -289,7 +324,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t rcv_nxt_ = 0;   ///< next expected offset (deposited extent)
   std::uint64_t rcv_granted_ = 0;  ///< right edge of the window ever granted
   ReassemblyBuffer reassembly_; ///< arrived, possibly not yet deposited
-  std::deque<std::uint8_t> readable_;
+  RingQueue<std::uint8_t> readable_;
   bool fin_received_ = false;
   std::uint64_t peer_fin_off_ = 0;  ///< offset of the peer's FIN
   bool eof_delivered_ = false;
@@ -314,6 +349,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   int consecutive_timeouts_ = 0;
 
   // --- timers / pending events ---
+  /// Last instant a segment moved on this connection (either direction);
+  /// the keepalive clock.
+  sim::TimePoint last_activity_{};
+  /// RTO deadline when riding the coalesced page tick
+  /// (options_.coalesce_timers); rto_timer_ stays invalid in that mode.
+  bool rto_armed_coalesced_ = false;
+  sim::TimePoint rto_deadline_{};
   sim::TimerId rto_timer_ = sim::kInvalidTimer;
   sim::TimerId probe_timer_ = sim::kInvalidTimer;
   sim::TimerId time_wait_timer_ = sim::kInvalidTimer;

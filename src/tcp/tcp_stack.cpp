@@ -1,5 +1,7 @@
 #include "tcp/tcp_stack.hpp"
 
+#include <limits>
+
 #include "common/logging.hpp"
 #include "trace2/recorder.hpp"
 #include "trace2/span.hpp"
@@ -20,6 +22,42 @@ TcpStack::TcpStack(ip::IpStack& ip, std::uint64_t seed)
       [this](const net::Ipv4Header& header, CowBytes payload) {
         on_segment_datagram(header, std::move(payload));
       });
+}
+
+TcpStack::~TcpStack() {
+  // Page-tick callbacks capture `this`; revoke them before the stack goes.
+  for (const PageTick& tick : page_ticks_) scheduler().cancel(tick.timer);
+}
+
+void TcpStack::request_page_tick(std::size_t page, sim::TimePoint when) {
+  if (page_ticks_.size() <= page) page_ticks_.resize(page + 1);
+  PageTick& tick = page_ticks_[page];
+  if (tick.armed && tick.deadline <= when) return;  // already early enough
+  scheduler().cancel(tick.timer);
+  tick.deadline = when;
+  tick.armed = true;
+  tick.timer =
+      scheduler().schedule_at(when, [this, page] { on_page_tick(page); });
+}
+
+void TcpStack::on_page_tick(std::size_t page) {
+  PageTick& tick = page_ticks_[page];
+  tick.armed = false;
+  tick.timer = sim::kInvalidTimer;
+  const sim::TimePoint now = scheduler().now();
+  // Connections closed (and deferred for destruction) during the sweep
+  // stay constructed until their teardown event runs, so visiting the
+  // page's occupancy snapshot is safe even when a tick closes connections.
+  arena_.for_each_live_in_page(page, [&](TcpConnection& conn, std::uint32_t) {
+    conn.on_page_tick(now);
+  });
+  // Re-arm at the earliest deadline any connection on the page still wants.
+  constexpr sim::TimePoint kNever{std::numeric_limits<std::int64_t>::max()};
+  sim::TimePoint next = kNever;
+  arena_.for_each_live_in_page(page, [&](TcpConnection& conn, std::uint32_t) {
+    next = std::min(next, conn.page_tick_deadline());
+  });
+  if (next != kNever) request_page_tick(page, next);
 }
 
 Result<TcpListener*> TcpStack::listen(net::Ipv4Address address,
@@ -62,11 +100,18 @@ Result<std::shared_ptr<TcpConnection>> TcpStack::connect(
   if (port == 0) return Errc::address_in_use;
 
   ConnectionKey key{net::Endpoint{source, port}, remote};
-  auto connection = std::shared_ptr<TcpConnection>(
-      new TcpConnection(*this, key, options));
+  auto connection = make_connection(key, options);
   connections_.emplace(key, connection);
   track_local_port(port, +1);
   connection->start_connect();
+  return connection;
+}
+
+std::shared_ptr<TcpConnection> TcpStack::make_connection(
+    const ConnectionKey& key, const TcpOptions& options) {
+  std::uint32_t slot = 0;
+  auto connection = arena_.create_shared(&slot, *this, key, options);
+  connection->slab_slot_ = slot;
   return connection;
 }
 
@@ -127,7 +172,11 @@ void TcpStack::remove_connection(const ConnectionKey& key) {
   connections_.erase(it);
   track_local_port(key.local.port, -1);
   pending_accepts_.erase(key);
-  scheduler().schedule_after(sim::Duration{0}, [doomed] {});
+  // The same deferred event also severs the app callbacks: they routinely
+  // capture the connection's own shared_ptr, and that cycle would pin the
+  // slab slot long after teardown.
+  scheduler().schedule_after(sim::Duration{0},
+                             [doomed] { doomed->release_app_callbacks(); });
 }
 
 TcpConnection::Stats TcpStack::aggregate_stats() const {
@@ -249,8 +298,7 @@ void TcpStack::on_segment_datagram(const net::Ipv4Header& header,
             find_listener(header.dst, segment.header.dst_port)) {
       std::uint32_t iss =
           generate_iss(key, port_opts != nullptr && port_opts->deterministic_iss);
-      auto connection = std::shared_ptr<TcpConnection>(
-          new TcpConnection(*this, key, listener->options_));
+      auto connection = make_connection(key, listener->options_);
       if (port_opts != nullptr && port_opts->hooks != nullptr) {
         connection->set_hooks(port_opts->hooks);
       }

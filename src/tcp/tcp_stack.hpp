@@ -10,6 +10,7 @@
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/slab.hpp"
 #include "ip/ip_stack.hpp"
 #include "net/address.hpp"
 #include "tcp/tcp_connection.hpp"
@@ -69,6 +70,7 @@ class TcpStack {
   };
 
   TcpStack(ip::IpStack& ip, std::uint64_t seed);
+  ~TcpStack();
 
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
@@ -100,9 +102,21 @@ class TcpStack {
   std::shared_ptr<TcpConnection> find_connection(const ConnectionKey& key);
   std::size_t connection_count() const { return connections_.size(); }
 
+  /// The slab arena all of this stack's connections live in (flat-memory
+  /// accounting for bench_connection_scale; page iteration for the
+  /// coalesced per-page timers).
+  SlabArena<TcpConnection>& arena() { return arena_; }
+  const SlabArena<TcpConnection>& arena() const { return arena_; }
+
   /// Node-wide TCP counters: every live connection plus everything
   /// accumulated from connections already torn down.
   TcpConnection::Stats aggregate_stats() const;
+
+  /// Stack-level congestion-window histogram.  Connections observe here
+  /// directly instead of each carrying their own bucket vectors — the
+  /// merged view is the only one ever published (`tcp.cwnd_bytes`).
+  void observe_cwnd(double cwnd_bytes) { cwnd_hist_.observe(cwnd_bytes); }
+  const stats::Histogram& cwnd_histogram() const { return cwnd_hist_; }
 
   ip::IpStack& ip() { return ip_; }
   sim::Scheduler& scheduler() { return ip_.scheduler(); }
@@ -112,6 +126,12 @@ class TcpStack {
   void remove_connection(const ConnectionKey& key);
   void notify_established(TcpConnection& connection);
   void remove_listener(const net::Endpoint& endpoint);
+
+  /// Coalesced timers: asks for the page's shared tick to fire no later
+  /// than `when`.  One scheduler event serves all 64 connections on a slab
+  /// page (keepalives always; RTOs under TcpOptions::coalesce_timers), so
+  /// idle connections cost O(pages) timing-wheel entries, not O(conns).
+  void request_page_tick(std::size_t page, sim::TimePoint when);
 
  private:
   /// All listeners sharing one port: the usual case is a single wildcard
@@ -135,9 +155,22 @@ class TcpStack {
   std::uint16_t allocate_ephemeral_port();
   void track_local_port(std::uint16_t port, int delta);
 
+  /// Constructs a connection in the arena and records its slot index.
+  std::shared_ptr<TcpConnection> make_connection(const ConnectionKey& key,
+                                                 const TcpOptions& options);
+
+  /// One coalesced timer per slab page (see request_page_tick).
+  struct PageTick {
+    sim::TimerId timer = sim::kInvalidTimer;
+    sim::TimePoint deadline{};
+    bool armed = false;
+  };
+  void on_page_tick(std::size_t page);
+
   ip::IpStack& ip_;
   Rng rng_;
   IssGenerator iss_generator_;
+  SlabArena<TcpConnection> arena_;
   std::unordered_map<ConnectionKey, std::shared_ptr<TcpConnection>,
                      ConnectionKeyHash>
       connections_;
@@ -150,6 +183,8 @@ class TcpStack {
   /// also steers allocation away from service ports in the range).
   std::unordered_map<std::uint16_t, std::uint32_t> local_port_refs_;
   TcpConnection::Stats closed_stats_;  ///< summed from removed connections
+  stats::Histogram cwnd_hist_{stats::cwnd_buckets()};
+  std::vector<PageTick> page_ticks_;  ///< indexed by arena page
   std::uint16_t next_ephemeral_ = 32768;
 };
 

@@ -81,6 +81,18 @@ struct TcpOptions {
   sim::Duration msl = sim::seconds(2);
   int max_retransmits = 12;
   sim::Duration zero_window_probe_interval = sim::milliseconds(500);
+  /// Keepalive probing: after this much inactivity an ESTABLISHED
+  /// connection sends a below-window probe to elicit a peer ACK.  Zero
+  /// disables.  Keepalives never get their own scheduler event — they ride
+  /// the per-slab-page coalesced tick (one timing-wheel entry serves 64
+  /// connections), so a million idle connections cost O(pages) entries.
+  sim::Duration keepalive_interval = sim::Duration{0};
+  /// Routes the retransmission timer through the per-page coalesced tick
+  /// too.  Deadline semantics are unchanged (the page tick fires at the
+  /// earliest pending deadline on the page), but coalescing can reorder
+  /// same-instant timer callbacks across connections sharing a page, so
+  /// determinism-sensitive runs keep the default per-connection events.
+  bool coalesce_timers = false;
 };
 
 class TcpConnection;

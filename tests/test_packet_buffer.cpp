@@ -182,6 +182,46 @@ TEST(RedirectorFanOut, SerialisesInnerDatagramExactlyOnce) {
   }
 }
 
+TEST(PacketBufferPool, RetiredStorageIsRecycled) {
+  // Warm the pool: build a frame the way the wire serialisers do, then
+  // drop it so its storage block and byte capacity return to the
+  // freelists.
+  {
+    Bytes wire = acquire_pooled_bytes(1024);
+    wire.assign(1024, 0xab);
+    PacketBuffer frame(std::move(wire));
+  }
+  const DatapathCounters before = datapath_counters();
+  {
+    Bytes wire = acquire_pooled_bytes(1024);
+    wire.assign(1024, 0xcd);
+    PacketBuffer frame(std::move(wire));
+    EXPECT_EQ(frame.size(), 1024u);
+    EXPECT_EQ(frame.view()[0], 0xcd);
+  }
+  const DatapathCounters after = datapath_counters();
+  // Bytes capacity + storage block both came from the pool: two hits, no
+  // fresh allocations.
+  EXPECT_GE(after.pool_hits - before.pool_hits, 2u);
+  EXPECT_EQ(after.allocations, before.allocations);
+}
+
+TEST(PacketBufferPool, ChainNodesAreRecycledToo) {
+  // One throwaway chained frame populates all three freelists (bytes,
+  // storage blocks, tail nodes)...
+  { PacketBuffer warm = PacketBuffer::chain(pattern(20), PacketBuffer(pattern(1000))); }
+  const DatapathCounters before = datapath_counters();
+  // ...so an identical frame built afterwards is allocation-free.
+  {
+    PacketBuffer frame =
+        PacketBuffer::chain(pattern(20), PacketBuffer(pattern(1000)));
+    EXPECT_EQ(frame.size(), 1020u);
+  }
+  const DatapathCounters after = datapath_counters();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_GE(after.pool_hits - before.pool_hits, 3u);
+}
+
 TEST(InlineFunction, SmallCallbacksNeverTouchTheHeap) {
   std::uint64_t before = inline_function_heap_allocs();
   sim::Scheduler scheduler;

@@ -1,0 +1,112 @@
+// SlabArena semantics: page growth, LIFO slot recycling, live-object
+// iteration per page, counter accounting, and deleters outliving the
+// arena handle (the deferred-destruction pattern the TCP stack uses).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/slab.hpp"
+
+namespace hydranet {
+namespace {
+
+struct Tracked {
+  explicit Tracked(int v) : value(v) { ++alive; }
+  ~Tracked() { --alive; }
+  int value;
+  static int alive;
+};
+int Tracked::alive = 0;
+
+TEST(SlabArena, GrowsByPagesAndRecyclesSlots) {
+  const SlabCounters before = slab_counters();
+  SlabArena<Tracked> arena;
+  EXPECT_EQ(arena.page_count(), 0u);
+
+  std::vector<std::shared_ptr<Tracked>> held;
+  for (int i = 0; i < 65; ++i) {
+    held.push_back(arena.create_shared(nullptr, i));
+  }
+  EXPECT_EQ(arena.page_count(), 2u);  // 65 objects span two 64-slot pages
+  EXPECT_EQ(arena.live(), 65u);
+  EXPECT_EQ(Tracked::alive, 65);
+  EXPECT_EQ(slab_counters().pages - before.pages, 2u);
+  EXPECT_GE(slab_counters().bytes - before.bytes,
+            2u * SlabArena<Tracked>::kPageSlots * sizeof(Tracked));
+  EXPECT_EQ(slab_counters().bytes - before.bytes, arena.bytes_reserved());
+
+  // Retire one object: its slot must be the next one handed out (LIFO),
+  // without growing a page.
+  std::uint32_t freed_slot = 0;
+  {
+    std::uint32_t slot = 0;
+    auto obj = arena.create_shared(&slot, 1000);
+    freed_slot = slot;
+  }
+  const std::uint64_t recycled_before = slab_counters().recycled;
+  std::uint32_t reused_slot = 0;
+  auto obj = arena.create_shared(&reused_slot, 2000);
+  EXPECT_EQ(reused_slot, freed_slot);
+  EXPECT_EQ(obj->value, 2000);
+  EXPECT_EQ(slab_counters().recycled, recycled_before + 1);
+  EXPECT_EQ(arena.page_count(), 2u);
+}
+
+TEST(SlabArena, ForEachLiveVisitsExactlyTheLiveSlots) {
+  SlabArena<Tracked> arena;
+  std::vector<std::shared_ptr<Tracked>> held;
+  std::vector<std::uint32_t> slots;
+  for (int i = 0; i < 10; ++i) {
+    std::uint32_t slot = 0;
+    held.push_back(arena.create_shared(&slot, i));
+    slots.push_back(slot);
+  }
+  held[3].reset();
+  held[7].reset();
+
+  std::vector<int> seen;
+  arena.for_each_live_in_page(0, [&](Tracked& t, std::uint32_t) {
+    seen.push_back(t.value);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(SlabArena, ObjectsOutliveTheArenaHandle) {
+  std::shared_ptr<Tracked> survivor;
+  SlabArena<Tracked>::UniquePtr unique_survivor;
+  {
+    SlabArena<Tracked> arena;
+    survivor = arena.create_shared(nullptr, 7);
+    unique_survivor = arena.create_unique(8);
+  }
+  // The arena handle is gone; the page is pinned by the deleters.
+  EXPECT_EQ(survivor->value, 7);
+  EXPECT_EQ(unique_survivor->value, 8);
+  const std::uint64_t live_before = slab_counters().live;
+  survivor.reset();
+  unique_survivor.reset();
+  EXPECT_EQ(slab_counters().live, live_before - 2);
+}
+
+TEST(SlabArena, CountersBalanceAfterChurn) {
+  const SlabCounters before = slab_counters();
+  {
+    SlabArena<Tracked> arena;
+    for (int round = 0; round < 100; ++round) {
+      auto a = arena.create_shared(nullptr, round);
+      auto b = arena.create_unique(round);
+    }
+    EXPECT_EQ(arena.page_count(), 1u);  // churn never grows past one page
+  }
+  const SlabCounters after = slab_counters();
+  EXPECT_EQ(after.live, before.live);
+  EXPECT_EQ(after.pages, before.pages);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.allocated - before.allocated, 200u);
+  EXPECT_EQ(after.freed - before.freed, 200u);
+  EXPECT_EQ(after.recycled - before.recycled, 198u);
+}
+
+}  // namespace
+}  // namespace hydranet

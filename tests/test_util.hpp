@@ -55,18 +55,22 @@ class DropNth final : public link::LossModel {
 };
 
 /// Server that accepts one connection, stores everything received, and
-/// optionally echoes it back; closes when the peer closes.
+/// optionally echoes it back; closes when the peer closes.  Owns its
+/// listener and closes it on destruction, so tests can run several
+/// sequential servers on the same port without a stale accept handler
+/// pointing at a destroyed instance.
 struct ByteSinkServer {
   host::Host& host;
   bool echo;
   Bytes received;
   bool eof = false;
   std::shared_ptr<tcp::TcpConnection> connection;
+  tcp::TcpListener* listener = nullptr;
 
   ByteSinkServer(host::Host& h, net::Ipv4Address address, std::uint16_t port,
                  bool echo_back = false, tcp::TcpOptions options = {})
       : host(h), echo(echo_back) {
-    auto listener = host.tcp().listen(
+    auto result = host.tcp().listen(
         address, port,
         [this](std::shared_ptr<tcp::TcpConnection> conn) {
           connection = conn;
@@ -87,8 +91,15 @@ struct ByteSinkServer {
           });
         },
         options);
-    (void)listener;
+    if (result.ok()) listener = result.value();
   }
+
+  ~ByteSinkServer() {
+    if (listener != nullptr) listener->close();
+  }
+
+  ByteSinkServer(const ByteSinkServer&) = delete;
+  ByteSinkServer& operator=(const ByteSinkServer&) = delete;
 };
 
 }  // namespace hydranet::testutil

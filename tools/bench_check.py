@@ -78,7 +78,7 @@ def main():
     with open(args.baseline) as f:
         baseline = {s["name"]: s for s in json.load(f)["scenarios"]}
 
-    failed = []
+    failed = []  # (name, detail) pairs; details land in the FAIL message
     for scenario in scenarios:
         name = scenario["name"]
         rate = scenario["packets_per_wall_second"]
@@ -91,7 +91,11 @@ def main():
         verdict = "ok"
         if delta < -args.tolerance:
             verdict = "REGRESSION"
-            failed.append(name)
+            floor = base_rate * (1 - args.tolerance)
+            failed.append((name,
+                           f"{name}: expected >= {floor:.0f} pkt/s "
+                           f"(baseline {base_rate:.0f} - {args.tolerance:.0%}), "
+                           f"measured {rate:.0f} ({delta:+.1%})"))
         hit_rate = scenario.get("tcp", {}).get("fastpath_hit_rate", 0.0)
         extra = f"  fastpath={100 * hit_rate:.1f}%" if hit_rate else ""
         print(f"{name:24s} {rate:12.0f} pkt/s  vs {base_rate:12.0f} "
@@ -100,7 +104,7 @@ def main():
     missing = set(baseline) - {s["name"] for s in scenarios}
     for name in sorted(missing):
         print(f"{name:24s} missing from current run")
-        failed.append(name)
+        failed.append((name, f"{name}: in baseline but missing from this run"))
 
     # Tracer-overhead gate: with sampling at 1-in-64 the causal tracer
     # must cost < 5% of the untraced ft-chain rate.  Compared in-run
@@ -115,11 +119,36 @@ def main():
         print(f"{'trace64 overhead':24s} {overhead:12.1%} vs untraced "
               f"(< 5% required)  {verdict}")
         if verdict != "ok":
-            failed.append("trace64_overhead")
+            failed.append(("trace64_overhead",
+                           f"trace64_overhead: expected < 5.0% of the "
+                           f"untraced ft-chain rate, measured "
+                           f"{overhead:.1%}"))
+
+    # Pool-hot gate: after warmup the one-hop datapath must recycle
+    # PacketBuffers from the freelist pool rather than hitting the heap.
+    # In-run (absolute property, not a baseline comparison); vacuous for
+    # benches whose scenarios don't report pool counters.
+    for scenario in scenarios:
+        dp = scenario.get("datapath", {})
+        if scenario["name"] != "one_hop_udp" or "pool_hits" not in dp:
+            continue
+        hits, misses = dp["pool_hits"], dp["pool_misses"]
+        total = hits + misses
+        ratio = hits / total if total else 0.0
+        verdict = "ok" if ratio >= 0.95 else "REGRESSION"
+        print(f"{'one_hop pool hit rate':24s} {ratio:12.1%} "
+              f"({hits}/{total}, >= 95% required)  {verdict}")
+        if verdict != "ok":
+            failed.append(("one_hop_pool_cold",
+                           f"one_hop_pool_cold: expected >= 95% pool hits "
+                           f"after warmup, measured {ratio:.1%} "
+                           f"({hits} hits / {misses} misses)"))
 
     if failed:
-        print(f"\nFAIL: {len(failed)} scenario(s) regressed more than "
-              f"{args.tolerance:.0%}: {', '.join(failed)}")
+        print(f"\nFAIL: {len(failed)} scenario(s) out of tolerance "
+              f"({args.tolerance:.0%}):")
+        for _, detail in failed:
+            print(f"  {detail}")
         return 1
     print("\nPASS: no scenario regressed beyond tolerance")
     return 0

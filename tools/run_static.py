@@ -23,7 +23,13 @@ The `lint` mode needs no external tools and always runs:
     span-name row;
   * reinterpret_cast ban — the only sanctioned reinterpret_cast lives in
     src/common/ (the as_bytes() helper); anywhere else must go through
-    it.
+    it;
+  * slab-bypass ban — per-connection state (tcp::TcpConnection, the
+    ft-TCP ConnState) lives in SlabArena pages (src/common/slab.hpp);
+    direct `new`/`delete` of those types anywhere would bypass the
+    freelist accounting the connection-scale bench depends on.  The
+    arena itself placement-constructs through its type parameter, so it
+    never spells the banned type names.
 """
 
 import argparse
@@ -51,6 +57,14 @@ STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 # The stats exporter re-imports previously exported snapshots, so metric
 # names flow through it as data, not as declarations.
 METRIC_SCAN_EXCLUDE = {"src/stats/export.cpp"}
+
+# Types whose storage is owned by SlabArena (src/common/slab.hpp): direct
+# heap allocation or deletion of them anywhere in src/ bypasses the slab.
+SLAB_BYPASS_RE = re.compile(
+    r"\bnew\s+(?:hydranet::)?(?:tcp::)?TcpConnection\b"
+    r"|\bnew\s+(?:ReplicatedService::)?ConnState\b"
+    r"|\bdelete\s+\(?\s*(?:hydranet::)?(?:tcp::)?TcpConnection\b"
+)
 
 
 def repo_sources(source_dir, subdir="src"):
@@ -256,14 +270,20 @@ def run_lint(args):
 
     for path in repo_sources(args.source_dir):
         rel = path.relative_to(args.source_dir).as_posix()
-        if rel.startswith("src/common/"):
-            continue  # the one sanctioned home (as_bytes in bytes.hpp)
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            if "reinterpret_cast" in line:
+            if ("reinterpret_cast" in line
+                    and not rel.startswith("src/common/")):
+                # src/common/ is the one sanctioned home (as_bytes,
+                # slab pages).
                 findings.append(
                     f"{rel}:{lineno}: raw reinterpret_cast outside "
                     "src/common/ — use hydranet::as_bytes() or add a "
                     "helper next to it")
+            if SLAB_BYPASS_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: direct new/delete of slab-owned "
+                    "connection state — construct through "
+                    "SlabArena (see src/common/slab.hpp)")
 
     return report(findings, "lint")
 
