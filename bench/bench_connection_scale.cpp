@@ -64,7 +64,7 @@ struct ScaleResult {
 };
 
 struct Fixture {
-  host::Network net{42};
+  host::Network net;
   host::Host* server = nullptr;
   std::vector<host::Host*> clients;
   std::vector<std::shared_ptr<tcp::TcpConnection>> client_conns;
@@ -73,14 +73,18 @@ struct Fixture {
   net::Endpoint service{net::Ipv4Address(192, 20, 225, 20), kServicePort};
   tcp::TcpOptions options;
 
-  explicit Fixture(std::size_t max_conns) {
+  explicit Fixture(std::size_t max_conns, std::size_t shards = 1)
+      : net(42, shards) {
     // Every idle connection keeps keepalive running off the shared page
     // ticks; RTOs ride them too.  A short interval makes the idle cost
     // visible inside the measurement windows.
     options.keepalive_interval = sim::seconds(5);
     options.coalesce_timers = true;
 
-    server = &net.add_host("server");
+    // The server stack is the convergence point; pin it to shard 0 and
+    // spread the client hosts round-robin so every other shard carries a
+    // slice of the connection fleet.
+    server = &net.add_host("server", 0);
     server->v_host(service.address);
 
     const std::size_t hosts =
@@ -90,7 +94,7 @@ struct Fixture {
     config.queue_capacity_packets = 4096;
     config.batch_frames = 8;  // rx bursts amortise the dispatch
     for (std::size_t i = 0; i < hosts; ++i) {
-      host::Host& client = net.add_host("c" + std::to_string(i));
+      host::Host& client = net.add_host("c" + std::to_string(i), i % shards);
       auto subnet = static_cast<std::uint8_t>(i + 1);
       net.connect(client, net::Ipv4Address(10, subnet, 0, 2), *server,
                   net::Ipv4Address(10, subnet, 0, 1), 24, config);
@@ -284,16 +288,21 @@ void write_json(const std::vector<ScaleResult>& results,
 
 int main(int argc, char** argv) {
   std::size_t max_conns = 1000000;
+  std::size_t shards = 1;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if ((std::strcmp(argv[i], "--packets") == 0 ||
          std::strcmp(argv[i], "--conns") == 0) &&
         i + 1 < argc) {
       max_conns = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--packets MAX_CONNS] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--packets MAX_CONNS] [--shards N] "
+                   "[--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -305,7 +314,7 @@ int main(int argc, char** argv) {
   }
   if (levels.empty()) levels.push_back(max_conns);
 
-  Fixture bed(levels.back());
+  Fixture bed(levels.back(), shards);
   std::vector<ScaleResult> results;
   for (std::size_t level : levels) {
     results.push_back(measure_level(bed, level));

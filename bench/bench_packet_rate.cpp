@@ -13,10 +13,17 @@
 // With --json the results (rates plus the datapath copy/alloc counters)
 // are written as a JSON document; the repo keeps a committed snapshot in
 // BENCH_datapath.json.
+//
+// --shards 1,2,4,8 switches to the sharded-engine scaling sweep instead:
+// a fixed fleet of one-hop pairs is partitioned across N engine shards
+// (DESIGN.md §10) and the aggregate pkt/s per shard count is emitted —
+// the committed snapshot is BENCH_shards.json, gated by
+// tools/bench_check.py --shards.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/ttcp.hpp"
@@ -271,6 +278,181 @@ ScenarioResult run_tcp_scenario(const std::string& name, int backups,
   return result;
 }
 
+// ---- sharded-engine scaling sweep (--shards) ----------------------------
+
+struct ShardResult {
+  std::string name;
+  std::size_t shards = 0;
+  std::size_t pairs = 0;
+  bool cross = false;  ///< pairs straddle a shard boundary
+  std::size_t packets = 0;  ///< datagrams delivered, all pairs summed
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  double packets_per_wall_second = 0;
+  sim::ShardEngine::Counters engine;
+};
+
+/// One independent one-hop UDP flow; the send loop reschedules itself on
+/// the client's own shard so the whole sweep is a single engine run.
+struct ShardFlow {
+  udp::UdpSocket* socket = nullptr;
+  sim::Scheduler* clock = nullptr;
+  net::Endpoint service;
+  Bytes payload;
+  std::size_t remaining = 0;
+  sim::Duration gap{};
+  std::size_t delivered = 0;  ///< written on the server's shard
+
+  void tick() {
+    (void)socket->send_to(service, payload);
+    if (--remaining == 0) return;
+    clock->schedule_at(clock->now() + gap, [this] { tick(); });
+  }
+};
+
+/// `pairs` independent client->server pairs, each pair pinned to one
+/// shard (cross == false) or split across two neighbouring shards
+/// (cross == true).  The workload is identical at every shard count —
+/// only the partitioning changes — so rates compose into a scaling
+/// curve.
+ShardResult run_shard_scenario(std::size_t shards, bool cross,
+                               std::size_t pairs,
+                               std::size_t packets_per_pair,
+                               std::size_t payload_bytes) {
+  ShardResult result;
+  result.name = (cross ? "cross_shard_s" : "one_hop_s") +
+                std::to_string(shards);
+  result.shards = shards;
+  result.pairs = pairs;
+  result.cross = cross;
+
+  host::Network net{42, shards};
+  link::Link::Config link_config;
+  link_config.bandwidth_bps = 10e9;  // serialization off the critical path
+  std::vector<std::unique_ptr<ShardFlow>> flows;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::size_t client_shard = i % shards;
+    const std::size_t server_shard = cross ? (i + 1) % shards : client_shard;
+    host::Host& client =
+        net.add_host("c" + std::to_string(i), client_shard);
+    host::Host& server =
+        net.add_host("s" + std::to_string(i), server_shard);
+    auto subnet = static_cast<std::uint8_t>(i + 1);
+    net.connect(client, net::Ipv4Address(10, subnet, 0, 2), server,
+                net::Ipv4Address(10, subnet, 0, 1), 24, link_config);
+
+    auto flow = std::make_unique<ShardFlow>();
+    flow->service = {net::Ipv4Address(10, subnet, 0, 1), 80};
+    auto sink = server.udp().bind(flow->service.address, 80).value();
+    ShardFlow* raw = flow.get();
+    sink->set_rx_handler([raw](const net::Endpoint&, CowBytes data) {
+      if (!data.empty()) raw->delivered++;
+    });
+    flow->socket = client.udp().bind(net::Ipv4Address(), 0).value();
+    flow->clock = &client.scheduler();
+    flow->payload = Bytes(payload_bytes, 0xaa);
+    flow->remaining = packets_per_pair;
+    flow->gap = sim::microseconds(1);  // > 0.8us serialization: queues empty
+    net.schedule_on(client, net.now() + sim::microseconds(1),
+                    [raw] { raw->tick(); });
+    flows.push_back(std::move(flow));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::TimePoint sim_start = net.now();
+  net.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  for (const auto& flow : flows) result.packets += flow->delivered;
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.sim_seconds = (net.now() - sim_start).seconds();
+  result.packets_per_wall_second =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.packets) / result.wall_seconds
+          : 0;
+  result.engine = net.engine().counters_total();
+  if (result.packets < pairs * packets_per_pair) {
+    std::fprintf(stderr, "warning: %s delivered %zu of %zu datagrams\n",
+                 result.name.c_str(), result.packets,
+                 pairs * packets_per_pair);
+  }
+  return result;
+}
+
+void write_shards_json(const std::vector<ShardResult>& results,
+                       const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_packet_rate\",\n");
+  std::fprintf(f, "  \"mode\": \"shards\",\n");
+  std::fprintf(
+      f, "  \"unit\": \"aggregate simulated packets per wall-clock second\",\n");
+  // The scaling gate is meaningless without the cores to scale onto;
+  // bench_check.py --shards reads this to decide whether to enforce it.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ShardResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"shards\": %zu,\n", r.shards);
+    std::fprintf(f, "      \"pairs\": %zu,\n", r.pairs);
+    std::fprintf(f, "      \"cross_shard\": %s,\n", r.cross ? "true" : "false");
+    std::fprintf(f, "      \"packets\": %zu,\n", r.packets);
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", r.wall_seconds);
+    std::fprintf(f, "      \"sim_seconds\": %.6f,\n", r.sim_seconds);
+    std::fprintf(f, "      \"packets_per_wall_second\": %.1f,\n",
+                 r.packets_per_wall_second);
+    std::fprintf(f, "      \"engine\": {\n");
+    std::fprintf(f, "        \"events\": %llu,\n", u(r.engine.events));
+    std::fprintf(f, "        \"epochs\": %llu,\n", u(r.engine.epochs));
+    std::fprintf(f, "        \"mailbox_posted\": %llu,\n",
+                 u(r.engine.mailbox_posted));
+    std::fprintf(f, "        \"mailbox_drained\": %llu,\n",
+                 u(r.engine.mailbox_drained));
+    std::fprintf(f, "        \"mailbox_overflows\": %llu\n",
+                 u(r.engine.mailbox_overflows));
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run_shard_sweep(const std::vector<std::size_t>& shard_counts,
+                    std::size_t packets, const std::string& json_path) {
+  // The fleet size is fixed across the sweep (workload identical, only
+  // the partitioning changes) and divides every swept shard count.
+  constexpr std::size_t kPairs = 8;
+  const std::size_t per_pair = std::max<std::size_t>(1, packets / kPairs);
+  std::vector<ShardResult> results;
+  for (std::size_t shards : shard_counts) {
+    results.push_back(
+        run_shard_scenario(shards, /*cross=*/false, kPairs, per_pair, 1000));
+    results.push_back(
+        run_shard_scenario(shards, /*cross=*/true, kPairs, per_pair, 1000));
+  }
+  for (const ShardResult& r : results) {
+    std::printf(
+        "%-16s shards=%zu pairs=%zu packets=%zu wall=%.3fs rate=%.0f pkt/s "
+        "epochs=%llu mailbox=%llu/%llu overflows=%llu\n",
+        r.name.c_str(), r.shards, r.pairs, r.packets, r.wall_seconds,
+        r.packets_per_wall_second,
+        static_cast<unsigned long long>(r.engine.epochs),
+        static_cast<unsigned long long>(r.engine.mailbox_posted),
+        static_cast<unsigned long long>(r.engine.mailbox_drained),
+        static_cast<unsigned long long>(r.engine.mailbox_overflows));
+  }
+  if (!json_path.empty()) write_shards_json(results, json_path);
+  return 0;
+}
+
 void write_json(const std::vector<ScenarioResult>& results,
                 const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -352,16 +534,31 @@ void write_json(const std::vector<ScenarioResult>& results,
 int main(int argc, char** argv) {
   std::size_t packets = 20000;
   std::string json_path;
+  std::vector<std::size_t> shard_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc) {
       packets = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      // Comma-separated sweep list, e.g. --shards 1,2,4,8.
+      std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        shard_counts.push_back(static_cast<std::size_t>(
+            std::stoull(list.substr(pos, comma - pos))));
+        pos = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--packets N] [--json PATH]\n", argv[0]);
+                   "usage: %s [--packets N] [--json PATH] [--shards 1,2,4,8]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (!shard_counts.empty()) {
+    return run_shard_sweep(shard_counts, packets, json_path);
   }
 
   std::vector<ScenarioResult> results;

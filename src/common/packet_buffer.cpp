@@ -3,17 +3,39 @@
 #include <algorithm>
 
 #include "common/inline_function.hpp"
+#include "common/tls_counters.hpp"
 #include "verify/invariant.hpp"
 
 namespace hydranet {
 
+namespace {
+/// Leaked singletons (like the freelists below): the main thread's
+/// thread-local holder deregisters during process teardown, after
+/// function-local statics would already be gone.
+struct InlineFnCounters {
+  std::uint64_t heap_allocs = 0;
+};
+
+PerThreadCounters<InlineFnCounters>& inline_fn_registry() {
+  static auto* registry = new PerThreadCounters<InlineFnCounters>();
+  return *registry;
+}
+
+PerThreadCounters<DatapathCounters>& datapath_registry() {
+  static auto* registry = new PerThreadCounters<DatapathCounters>();
+  return *registry;
+}
+}  // namespace
+
 std::uint64_t& inline_function_heap_allocs() {
-  static std::uint64_t count = 0;
-  return count;
+  return inline_fn_registry().local().heap_allocs;
+}
+
+std::uint64_t inline_function_heap_allocs_total() {
+  return inline_fn_registry().totals().heap_allocs;
 }
 
 namespace {
-DatapathCounters g_datapath_counters;
 
 // ---- datapath freelists ---------------------------------------------------
 //
@@ -28,10 +50,13 @@ DatapathCounters g_datapath_counters;
 //     each one combined allocation that returns to its freelist when the
 //     last reference drops.
 //
-// The pools are intentionally leaked singletons: frames can outlive every
-// stack (deferred-destruction scheduler callbacks run at teardown), so a
-// static-destruction-ordered pool would be use-after-free bait.  Both are
-// bounded, keeping the retained memory small.
+// The pools are per-thread (each shard recycles its own buffers — no
+// locking on the hot path; a frame freed on a different shard than it was
+// allocated on simply lands in the freeing shard's pool) and intentionally
+// leaked: frames can outlive every stack (deferred-destruction scheduler
+// callbacks run at teardown), so a destruction-ordered pool would be
+// use-after-free bait.  Both are bounded, keeping the retained memory
+// small per thread.
 
 constexpr std::size_t kMaxPooledBytes = 1024;       ///< entries
 constexpr std::size_t kMaxPooledCapacity = 256 * 1024;  ///< per entry
@@ -39,14 +64,14 @@ constexpr std::size_t kMinPooledCapacity = 16;
 constexpr std::size_t kMaxPooledBlocks = 4096;      ///< per size class
 
 std::vector<Bytes>& bytes_pool() {
-  static auto* pool = new std::vector<Bytes>();
+  thread_local auto* pool = new std::vector<Bytes>();
   return *pool;
 }
 
 /// One-size block freelist; every allocate_shared rebinding gets its own.
 template <typename T>
 std::vector<void*>& block_pool() {
-  static auto* pool = new std::vector<void*>();
+  thread_local auto* pool = new std::vector<void*>();
   return *pool;
 }
 
@@ -65,12 +90,12 @@ struct PoolAlloc {
       if (!pool.empty()) {
         void* p = pool.back();
         pool.pop_back();
-        g_datapath_counters.pool_hits++;
+        datapath_counters().pool_hits++;
         return static_cast<T*>(p);
       }
     }
-    g_datapath_counters.pool_misses++;
-    g_datapath_counters.allocations++;
+    datapath_counters().pool_misses++;
+    datapath_counters().allocations++;
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
 
@@ -98,9 +123,11 @@ std::shared_ptr<PacketBuffer::Storage> PacketBuffer::make_storage(
   return storage;
 }
 
-DatapathCounters& datapath_counters() { return g_datapath_counters; }
+DatapathCounters& datapath_counters() { return datapath_registry().local(); }
 
-void reset_datapath_counters() { g_datapath_counters = DatapathCounters{}; }
+DatapathCounters datapath_totals() { return datapath_registry().totals(); }
+
+void reset_datapath_counters() { datapath_registry().reset(); }
 
 Bytes acquire_pooled_bytes(std::size_t reserve) {
   auto& pool = bytes_pool();
@@ -108,17 +135,17 @@ Bytes acquire_pooled_bytes(std::size_t reserve) {
     Bytes out = std::move(pool.back());
     pool.pop_back();
     if (out.capacity() >= reserve) {
-      g_datapath_counters.pool_hits++;
+      datapath_counters().pool_hits++;
       return out;
     }
     // Under-sized capacity: growing it is a real allocation, count it so.
-    g_datapath_counters.pool_misses++;
-    g_datapath_counters.allocations++;
+    datapath_counters().pool_misses++;
+    datapath_counters().allocations++;
     out.reserve(reserve);
     return out;
   }
-  g_datapath_counters.pool_misses++;
-  g_datapath_counters.allocations++;
+  datapath_counters().pool_misses++;
+  datapath_counters().allocations++;
   Bytes out;
   out.reserve(reserve);
   return out;
@@ -143,8 +170,8 @@ PacketBuffer::PacketBuffer(Bytes data) {
 }
 
 PacketBuffer PacketBuffer::copy_of(BytesView data) {
-  g_datapath_counters.copies++;
-  g_datapath_counters.copied_bytes += data.size();
+  datapath_counters().copies++;
+  datapath_counters().copied_bytes += data.size();
   Bytes copy = acquire_pooled_bytes(data.size());
   copy.assign(data.begin(), data.end());
   return PacketBuffer(std::move(copy));
@@ -186,8 +213,8 @@ PacketBuffer PacketBuffer::slice(std::size_t offset, std::size_t len) const {
 }
 
 Bytes PacketBuffer::flatten_copy() const {
-  g_datapath_counters.copies++;
-  g_datapath_counters.copied_bytes += size();
+  datapath_counters().copies++;
+  datapath_counters().copied_bytes += size();
   Bytes out = acquire_pooled_bytes(size());
   for_each_segment(
       [&](BytesView seg) { out.insert(out.end(), seg.begin(), seg.end()); });
@@ -196,7 +223,7 @@ Bytes PacketBuffer::flatten_copy() const {
 
 PacketBuffer PacketBuffer::flattened() const {
   if (contiguous()) return *this;
-  g_datapath_counters.flattens++;
+  datapath_counters().flattens++;
   PacketBuffer flat(flatten_copy());
   flat.trace_ctx = trace_ctx;
   return flat;

@@ -17,9 +17,10 @@
 // several references to one buffer (fan-out replicas, trace entries,
 // queued frames) is always safe.
 //
-// All copy/allocation activity is tallied in a process-wide counter block
-// (the simulator is single-threaded) so regressions show up in the stats
-// registry as `datapath.*` metrics and in the packet-path benchmarks.
+// All copy/allocation activity is tallied in per-thread counter blocks
+// (each simulation shard runs on its own thread; see src/sim/shard.hpp)
+// aggregated on read, so regressions show up in the stats registry as
+// `datapath.*` metrics and in the packet-path benchmarks.
 #pragma once
 
 #include <cassert>
@@ -32,7 +33,10 @@
 
 namespace hydranet {
 
-/// Process-wide datapath buffer accounting (see DESIGN.md §8).
+/// Datapath buffer accounting (see DESIGN.md §8).  One block per thread;
+/// datapath_counters() is the calling thread's block (the increment path —
+/// plain adds, no atomics), datapath_totals() the process-wide wrapping
+/// sum.  Read totals only at quiescent points (src/common/tls_counters.hpp).
 struct DatapathCounters {
   std::uint64_t allocations = 0;   ///< fresh heap allocations (pool misses)
   std::uint64_t copies = 0;        ///< explicit byte copies of any kind
@@ -44,7 +48,12 @@ struct DatapathCounters {
 };
 
 DatapathCounters& datapath_counters();
+DatapathCounters datapath_totals();
 void reset_datapath_counters();
+
+/// Scheduler-callback captures too large for the inline buffer fall back
+/// to the heap; counted per thread like the datapath block.
+std::uint64_t inline_function_heap_allocs_total();
 
 /// An empty Bytes with at least `reserve` capacity, recycled from the
 /// datapath freelist when possible (counted in `datapath.pool.*`).  Wire

@@ -1,19 +1,28 @@
 #include "common/slab.hpp"
 
+#include "common/tls_counters.hpp"
+
 namespace hydranet {
 
 namespace {
-SlabCounters g_slab_counters;
+PerThreadCounters<SlabCounters>& slab_registry() {
+  static auto* registry = new PerThreadCounters<SlabCounters>();
+  return *registry;
+}
 }  // namespace
 
-SlabCounters& slab_counters() { return g_slab_counters; }
+SlabCounters& slab_counters() { return slab_registry().local(); }
+
+SlabCounters slab_totals() { return slab_registry().totals(); }
 
 void reset_slab_counters() {
   // Live/page/byte gauges track real state across arenas; only the
-  // monotonic traffic counters reset.
-  g_slab_counters.allocated = 0;
-  g_slab_counters.recycled = 0;
-  g_slab_counters.freed = 0;
+  // monotonic traffic counters reset — in every thread's block.
+  slab_registry().for_each_block([](SlabCounters& c) {
+    c.allocated = 0;
+    c.recycled = 0;
+    c.freed = 0;
+  });
 }
 
 }  // namespace hydranet

@@ -27,7 +27,11 @@
 
 namespace hydranet {
 
-/// Process-wide slab accounting (see DESIGN.md §8).
+/// Slab accounting (see DESIGN.md §8).  One block per thread, aggregated
+/// on read: slab_counters() is the calling thread's block (plain adds on
+/// the hot path), slab_totals() the process-wide wrapping sum.  Gauges
+/// (pages/live/bytes) stay correct across threads because a +1 on the
+/// allocating shard and a -1 on the freeing shard cancel in the sum.
 struct SlabCounters {
   std::uint64_t pages = 0;      ///< pages currently allocated
   std::uint64_t live = 0;       ///< slots currently constructed
@@ -38,6 +42,7 @@ struct SlabCounters {
 };
 
 SlabCounters& slab_counters();
+SlabCounters slab_totals();
 void reset_slab_counters();
 
 template <typename T>

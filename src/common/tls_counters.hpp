@@ -1,0 +1,112 @@
+// Per-thread counter blocks with aggregate-on-read.
+//
+// The sharded engine runs one simulation thread per shard, so the old
+// process-wide plain-uint64 counter blocks (DatapathCounters, SlabCounters,
+// BatchCounters, ...) would race.  Instead each thread increments its own
+// thread-local block — the hot path stays a plain non-atomic add — and
+// readers sum every live block plus an accumulator of exited threads'
+// blocks.  Sums are wrapping (unsigned) per field, which makes gauge-like
+// fields correct even when the increment and the decrement happen on
+// different threads (a slab page allocated on shard 1 and freed on the
+// main thread leaves +1 in one block and -1 in another; the wrapped sum
+// is 0).
+//
+// Concurrency contract: totals()/reset() are only meaningful at quiescent
+// points — before a run, or after the engine's final barrier — where the
+// worker threads' writes happen-before the reader (the engine's barrier
+// mutex provides the edge).  Calling totals() mid-run would be a data
+// race; nothing in the tree does.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace hydranet {
+
+namespace detail {
+/// Field-wise wrapping sum of two all-uint64 counter structs.
+template <typename T>
+void wrapping_accumulate(T& into, const T& from) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % sizeof(std::uint64_t) == 0,
+                "counter structs must be arrays of uint64 fields");
+  constexpr std::size_t kWords = sizeof(T) / sizeof(std::uint64_t);
+  std::uint64_t a[kWords];
+  std::uint64_t b[kWords];
+  std::memcpy(a, &into, sizeof(T));
+  std::memcpy(b, &from, sizeof(T));
+  for (std::size_t i = 0; i < kWords; ++i) a[i] += b[i];
+  std::memcpy(&into, a, sizeof(T));
+}
+}  // namespace detail
+
+/// One per counter-struct type (a leaked function-local singleton, so the
+/// main thread's thread-local holder can still deregister at process
+/// exit).  local() is the hot path: after the first call per thread it is
+/// a plain thread-local load.
+template <typename T>
+class PerThreadCounters {
+ public:
+  T& local() {
+    thread_local Holder holder(*this);
+    return holder.block;
+  }
+
+  /// Wrapping field-wise sum over all live threads' blocks plus every
+  /// exited thread's folded remainder.  Quiescent points only.
+  T totals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    T out = retired_;
+    for (const T* block : live_) detail::wrapping_accumulate(out, *block);
+    return out;
+  }
+
+  /// Zeroes every live block and the retired accumulator.  Quiescent
+  /// points only (benches/tests reset between runs).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = T{};
+    for (T* block : live_) *block = T{};
+  }
+
+  /// Applies `fn(T&)` to every live block and the retired accumulator —
+  /// for partial resets (e.g. slab traffic counters reset while the
+  /// page/live gauges keep tracking real state).  Quiescent points only.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn(retired_);
+    for (T* block : live_) fn(*block);
+  }
+
+ private:
+  struct Holder {
+    explicit Holder(PerThreadCounters& owner_in) : owner(owner_in) {
+      std::lock_guard<std::mutex> lock(owner.mu_);
+      owner.live_.push_back(&block);
+    }
+    ~Holder() {
+      std::lock_guard<std::mutex> lock(owner.mu_);
+      detail::wrapping_accumulate(owner.retired_, block);
+      auto& live = owner.live_;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] == &block) {
+          live[i] = live.back();
+          live.pop_back();
+          break;
+        }
+      }
+    }
+    PerThreadCounters& owner;
+    T block{};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<T*> live_;
+  T retired_{};
+};
+
+}  // namespace hydranet

@@ -1,5 +1,6 @@
 #include "host/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -73,26 +74,44 @@ void Host::publish_metrics(stats::Registry& registry) const {
   registry.set_histogram(name_, "tcp.cwnd_bytes", tcp_.cwnd_histogram());
 }
 
-Network::Network(std::uint64_t seed)
-    : seed_(seed), next_host_seed_(seed * 7919 + 1) {
-  // Stamp log lines with this network's virtual clock.
-  set_log_clock([this] { return scheduler_.now().ns; });
+Network::Network(std::uint64_t seed, std::size_t shards)
+    : engine_(std::make_unique<sim::ShardEngine>(
+          sim::ShardEngine::Config{.shards = shards, .seed = seed})),
+      seed_(seed),
+      next_host_seed_(seed * 7919 + 1) {
+  // Stamp log lines with virtual time: the shard running on the calling
+  // thread if a run phase is active, otherwise the reference clock.
+  set_log_clock([this] {
+    if (sim::Scheduler* current = sim::ShardEngine::current_scheduler()) {
+      return current->now().ns;
+    }
+    return engine_->scheduler(0).now().ns;
+  });
 }
 
 Network::~Network() {
   set_log_clock(nullptr);
-  // Hosts carry timers referencing the scheduler; drop them before the
-  // scheduler (a member declared first, destroyed last) goes away.
+  // Hosts carry timers referencing the schedulers; drop them before the
+  // engine (a member declared first, destroyed last) goes away.
   hosts_.clear();
   links_.clear();
 }
 
 Host& Network::add_host(const std::string& name) {
+  const std::size_t shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % engine_->shards();
+  return add_host(name, shard);
+}
+
+Host& Network::add_host(const std::string& name, std::size_t shard) {
   assert(!hosts_.contains(name));
-  auto host = std::make_unique<Host>(scheduler_, name, next_host_seed_);
+  assert(shard < engine_->shards());
+  auto host = std::make_unique<Host>(engine_->scheduler(shard), name,
+                                     next_host_seed_);
   next_host_seed_ = next_host_seed_ * 6364136223846793005ull + 1442695040888963407ull;
   host->set_timeline(&metrics_.timeline());
   Host& ref = *host;
+  host_shards_.emplace(&ref, shard);
   hosts_.emplace(name, std::move(host));
   return ref;
 }
@@ -105,11 +124,60 @@ Host& Network::host(const std::string& name) {
   return *it->second;
 }
 
+std::size_t Network::shard_of(const Host& host) const {
+  auto it = host_shards_.find(&host);
+  assert(it != host_shards_.end());
+  return it->second;
+}
+
+std::unordered_map<std::string, std::size_t> Network::plan_partition(
+    const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    std::size_t shards) {
+  std::unordered_map<std::string, std::size_t> assignment;
+  if (shards == 0) shards = 1;
+  const std::size_t cap = (hosts.size() + shards - 1) / shards;
+  std::vector<std::size_t> load(shards, 0);
+  for (const std::string& name : hosts) {
+    // Affinity: already-placed neighbours per shard.
+    std::vector<std::size_t> affinity(shards, 0);
+    for (const auto& [u, v] : edges) {
+      const std::string* peer = nullptr;
+      if (u == name) peer = &v;
+      if (v == name) peer = &u;
+      if (peer == nullptr) continue;
+      auto it = assignment.find(*peer);
+      if (it != assignment.end()) affinity[it->second]++;
+    }
+    std::size_t best = shards;  // none yet
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (load[s] >= cap) continue;
+      if (best == shards || affinity[s] > affinity[best] ||
+          (affinity[s] == affinity[best] && load[s] < load[best])) {
+        best = s;
+      }
+    }
+    if (best == shards) best = 0;  // all full (shouldn't happen): fall back
+    assignment[name] = best;
+    load[best]++;
+  }
+  return assignment;
+}
+
 link::Link& Network::connect(Host& a, net::Ipv4Address address_a, Host& b,
                              net::Ipv4Address address_b, int prefix_len,
                              link::Link::Config config, std::size_t mtu) {
   if (config.seed == 1) config.seed = next_host_seed_ ^ 0x9e3779b9;
-  auto link = std::make_unique<link::Link>(scheduler_, config);
+  const std::size_t shard_a = shard_of(a);
+  const std::size_t shard_b = shard_of(b);
+  if (shard_a != shard_b && config.propagation <= sim::Duration{0}) {
+    // Zero-delay cross-shard links would collapse the conservative
+    // lookahead to nothing — the engine could never run an epoch.
+    throw std::invalid_argument(
+        "cross-shard link " + a.name() + "-" + b.name() +
+        " needs propagation > 0 (it bounds the engine's lookahead)");
+  }
+  auto link = std::make_unique<link::Link>(engine_->scheduler(0), config);
   // Metrics identify links by label; disambiguate parallel links between
   // the same pair of hosts with a #n suffix.
   std::string label = a.name() + "-" + b.name();
@@ -122,15 +190,16 @@ link::Link& Network::connect(Host& a, net::Ipv4Address address_a, Host& b,
   auto& iface_a = a.add_interface("to_" + b.name(), address_a, prefix_len, mtu);
   auto& iface_b = b.add_interface("to_" + a.name(), address_b, prefix_len, mtu);
   link->attach(iface_a, iface_b);
+  link->bind_shards(*engine_, shard_a, shard_b);
   links_.push_back(std::move(link));
   return *links_.back();
 }
 
 void Network::publish_metrics() {
   for (const auto& [name, host] : hosts_) host->publish_metrics(metrics_);
-  // Process-wide datapath counters (the simulation is single-threaded, so
-  // these aggregate every node in this network).
-  const DatapathCounters& dp = datapath_counters();
+  // Process-wide datapath counters: per-thread (per-shard) blocks, summed
+  // on read.  Only valid at quiescent points — which publish_metrics is.
+  const DatapathCounters dp = datapath_totals();
   metrics_.set_counter("datapath", "datapath.allocations", dp.allocations);
   metrics_.set_counter("datapath", "datapath.copies", dp.copies);
   metrics_.set_counter("datapath", "datapath.copied_bytes", dp.copied_bytes);
@@ -138,7 +207,7 @@ void Network::publish_metrics() {
   metrics_.set_counter("datapath", "datapath.flattens", dp.flattens);
   metrics_.set_counter("datapath", "datapath.pool.hits", dp.pool_hits);
   metrics_.set_counter("datapath", "datapath.pool.misses", dp.pool_misses);
-  const SlabCounters& slab = slab_counters();
+  const SlabCounters slab = slab_totals();
   metrics_.set_counter("datapath", "datapath.slab.pages", slab.pages);
   metrics_.set_counter("datapath", "datapath.slab.live", slab.live);
   metrics_.set_counter("datapath", "datapath.slab.allocated", slab.allocated);
@@ -146,14 +215,28 @@ void Network::publish_metrics() {
   metrics_.set_counter("datapath", "datapath.slab.freed", slab.freed);
   metrics_.set_counter("datapath", "datapath.slab.bytes", slab.bytes);
   metrics_.set_counter("scheduler", "scheduler.alloc_fallbacks",
-                       inline_function_heap_allocs());
-  const link::BatchCounters& batch = link::batch_counters();
+                       inline_function_heap_allocs_total());
+  const link::BatchCounters batch = link::batch_counters_total();
   metrics_.set_counter("scheduler", "scheduler.batch.bursts", batch.bursts);
   metrics_.set_counter("scheduler", "scheduler.batch.packets", batch.packets);
-  metrics_.set_counter("scheduler", "scheduler.wheel.inserts",
-                       scheduler_.wheel_inserts());
+  std::uint64_t wheel_inserts = 0;
+  std::uint64_t wheel_cascades = 0;
+  for (std::size_t s = 0; s < engine_->shards(); ++s) {
+    wheel_inserts += engine_->scheduler(s).wheel_inserts();
+    wheel_cascades += engine_->scheduler(s).wheel_cascades();
+  }
+  metrics_.set_counter("scheduler", "scheduler.wheel.inserts", wheel_inserts);
   metrics_.set_counter("scheduler", "scheduler.wheel.cascades",
-                       scheduler_.wheel_cascades());
+                       wheel_cascades);
+  // Shard-engine telemetry (all shards summed; see DESIGN.md §10).
+  const sim::ShardEngine::Counters shard = engine_->counters_total();
+  metrics_.set_counter("shard", "shard.events", shard.events);
+  metrics_.set_counter("shard", "shard.epochs", shard.epochs);
+  metrics_.set_counter("shard", "shard.mailbox.posted", shard.mailbox_posted);
+  metrics_.set_counter("shard", "shard.mailbox.drained",
+                       shard.mailbox_drained);
+  metrics_.set_counter("shard", "shard.mailbox.overflows",
+                       shard.mailbox_overflows);
   // Protocol-invariant violation counters (process-wide, like the datapath
   // counters; all zero in a healthy run).  Metric names come from the
   // verify component so the catalogue has a single source of truth.
@@ -175,7 +258,7 @@ void Network::publish_metrics() {
   }
 #endif
   for (const auto& link : links_) {
-    const link::Link::Stats& s = link->stats();
+    const link::Link::Stats s = link->stats();
     const std::string& node = link->label();
     metrics_.set_counter(node, "link.delivered", s.delivered);
     metrics_.set_counter(node, "link.queue_drops", s.queue_drops);

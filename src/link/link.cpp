@@ -3,14 +3,22 @@
 #include <cassert>
 #include <utility>
 
+#include "common/tls_counters.hpp"
+
 namespace hydranet::link {
 
-BatchCounters& batch_counters() {
-  static BatchCounters counters;
-  return counters;
+namespace {
+PerThreadCounters<BatchCounters>& batch_registry() {
+  static auto* registry = new PerThreadCounters<BatchCounters>();
+  return *registry;
 }
+}  // namespace
 
-void reset_batch_counters() { batch_counters() = BatchCounters{}; }
+BatchCounters& batch_counters() { return batch_registry().local(); }
+
+BatchCounters batch_counters_total() { return batch_registry().totals(); }
+
+void reset_batch_counters() { batch_registry().reset(); }
 
 Status NetworkInterface::send(PacketBuffer frame) {
   if (!up_) return Errc::no_route;
@@ -62,12 +70,15 @@ Link::Link(sim::Scheduler& scheduler, Config config)
                 ? std::unique_ptr<LossModel>(
                       std::make_unique<BernoulliLoss>(config.loss_probability))
                 : std::make_unique<NoLoss>()),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  toward_b_.src = &scheduler_;
+  toward_a_.src = &scheduler_;
+}
 
 Link::~Link() {
   // Flush callbacks capture `this`; revoke them before the link goes.
-  scheduler_.cancel(toward_a_.rx_flush_timer);
-  scheduler_.cancel(toward_b_.rx_flush_timer);
+  toward_a_.src->cancel(toward_a_.rx_flush_timer);
+  toward_b_.src->cancel(toward_b_.rx_flush_timer);
 }
 
 void Link::attach(NetworkInterface& a, NetworkInterface& b) {
@@ -79,9 +90,54 @@ void Link::attach(NetworkInterface& a, NetworkInterface& b) {
   toward_a_.destination = &a;
 }
 
+void Link::bind_shards(sim::ShardEngine& engine, std::size_t shard_a,
+                       std::size_t shard_b) {
+  engine_ = &engine;
+  toward_b_.src = &engine.scheduler(shard_a);
+  toward_b_.src_shard = shard_a;
+  toward_b_.dst_shard = shard_b;
+  toward_a_.src = &engine.scheduler(shard_b);
+  toward_a_.src_shard = shard_b;
+  toward_a_.dst_shard = shard_a;
+  if (shard_a != shard_b) {
+    engine.observe_cross_shard_latency(config_.propagation);
+    // Independent per-direction loss streams, derived deterministically
+    // from the link seed (direction index breaks the symmetry).
+    SplitMix64 sm(config_.seed);
+    const std::uint64_t seed_ab = sm.next();
+    const std::uint64_t seed_ba = sm.next();
+    toward_b_.loss = loss_->clone();
+    toward_b_.rng = std::make_unique<Rng>(seed_ab);
+    toward_a_.loss = loss_->clone();
+    toward_a_.rng = std::make_unique<Rng>(seed_ba);
+  }
+}
+
 void Link::set_loss_model(std::unique_ptr<LossModel> model) {
   assert(model);
   loss_ = std::move(model);
+  // Cross-shard directions hold clones; refresh them from the new model.
+  for (Direction* dir : {&toward_b_, &toward_a_}) {
+    if (dir->loss != nullptr) dir->loss = loss_->clone();
+  }
+}
+
+Link::Stats Link::stats() const {
+  Stats out;
+  for (const Direction* dir : {&toward_b_, &toward_a_}) {
+    out.delivered += dir->stats.delivered;
+    out.queue_drops += dir->stats.queue_drops;
+    out.loss_drops += dir->stats.loss_drops;
+    out.down_drops += dir->stats.down_drops_tx + dir->stats.down_drops_rx;
+  }
+  return out;
+}
+
+stats::Histogram Link::queue_depth() const {
+  stats::Histogram merged(stats::queue_depth_buckets());
+  merged.merge(toward_b_.queue_depth);
+  merged.merge(toward_a_.queue_depth);
+  return merged;
 }
 
 Link::Direction& Link::direction_from(const NetworkInterface* from) {
@@ -90,56 +146,71 @@ Link::Direction& Link::direction_from(const NetworkInterface* from) {
 }
 
 Status Link::transmit(const NetworkInterface* from, PacketBuffer frame) {
-  if (down_) {
-    stats_.down_drops++;
+  Direction& dir = direction_from(from);
+  if (is_down()) {
+    dir.stats.down_drops_tx++;
     return Errc::no_route;
   }
   if (tap_) tap_(*from, frame);
-  Direction& dir = direction_from(from);
-  queue_depth_.observe(static_cast<double>(dir.queued));
+  dir.queue_depth.observe(static_cast<double>(dir.queued));
   if (dir.queued >= config_.queue_capacity_packets) {
-    stats_.queue_drops++;
+    dir.stats.queue_drops++;
     // Drop-tail loss is silent on real hardware too; callers relying on
     // delivery must recover end-to-end (that is TCP's job).
     return Status::success();
   }
   dir.queued++;
 
-  sim::TimePoint start =
-      std::max(scheduler_.now(), dir.transmitter_free);
+  sim::TimePoint start = std::max(dir.src->now(), dir.transmitter_free);
   auto tx_ns = static_cast<std::int64_t>(
       static_cast<double>(frame.size()) * 8.0 / config_.bandwidth_bps * 1e9);
   sim::TimePoint done = start + sim::Duration{tx_ns};
   dir.transmitter_free = done;
 
   // Departure: the frame leaves the queue when fully serialised.
-  scheduler_.schedule_at(done, [this, &dir] {
+  dir.src->schedule_at(done, [this, &dir] {
     assert(dir.queued > 0);
     dir.queued--;
   });
 
-  // Arrival: after propagation, subject to the loss model.
-  bool dropped = loss_->should_drop(rng_, frame.size());
+  // Arrival: after propagation, subject to the loss model.  Cross-shard
+  // directions draw from their own cloned stream (two transmit threads
+  // must never share generator state).
+  bool dropped = dir.loss != nullptr ? dir.loss->should_drop(*dir.rng, frame.size())
+                                     : loss_->should_drop(rng_, frame.size());
   sim::TimePoint arrival = done + config_.propagation;
   if (dropped) {
-    stats_.loss_drops++;
+    dir.stats.loss_drops++;
+    return Status::success();
+  }
+  if (dir.crosses_shards()) {
+    // Delivery runs on the destination shard's thread, in a later epoch
+    // (the engine's lookahead guarantees arrival >= that epoch's start).
+    // Batching is bypassed: the mailbox drain already amortises wakeups.
+    engine_->post(dir.src_shard, dir.dst_shard, arrival,
+                  [this, &dir, frame = std::move(frame)]() mutable {
+                    deliver(dir, std::move(frame));
+                  });
     return Status::success();
   }
   if (config_.batch_frames > 1) {
     enqueue_arrival(dir, arrival, std::move(frame));
     return Status::success();
   }
-  NetworkInterface* destination = dir.destination;
-  scheduler_.schedule_at(
-      arrival, [this, destination, frame = std::move(frame)]() mutable {
-        if (down_) {
-          stats_.down_drops++;
-          return;
-        }
-        stats_.delivered++;
-        destination->handle_rx(std::move(frame));
-      });
+  dir.src->schedule_at(arrival,
+                       [this, &dir, frame = std::move(frame)]() mutable {
+                         deliver(dir, std::move(frame));
+                       });
   return Status::success();
+}
+
+void Link::deliver(Direction& dir, PacketBuffer frame) {
+  if (is_down()) {
+    dir.stats.down_drops_rx++;
+    return;
+  }
+  dir.stats.delivered++;
+  dir.destination->handle_rx(std::move(frame));
 }
 
 // ---- batched rx (config.batch_frames > 1) ---------------------------------
@@ -151,24 +222,24 @@ void Link::enqueue_arrival(Direction& dir, sim::TimePoint arrival,
     dir.rx_flush_scheduled = true;
     dir.rx_flush_at = arrival;
     dir.rx_flush_timer =
-        scheduler_.schedule_at(arrival, [this, &dir] { flush_rx(dir); });
+        dir.src->schedule_at(arrival, [this, &dir] { flush_rx(dir); });
   } else if (dir.rx_pending.size() == config_.batch_frames &&
              arrival > dir.rx_flush_at) {
     // The batch just filled: coalesce into one event at its newest
     // member's arrival.  Only the fill transition postpones (never later
     // frames), so delivery lags a frame's own arrival by at most
     // batch_frames serialisation times.
-    scheduler_.cancel(dir.rx_flush_timer);
+    dir.src->cancel(dir.rx_flush_timer);
     dir.rx_flush_at = arrival;
     dir.rx_flush_timer =
-        scheduler_.schedule_at(arrival, [this, &dir] { flush_rx(dir); });
+        dir.src->schedule_at(arrival, [this, &dir] { flush_rx(dir); });
   }
 }
 
 void Link::flush_rx(Direction& dir) {
   dir.rx_flush_scheduled = false;
   dir.rx_flush_timer = sim::kInvalidTimer;
-  const sim::TimePoint now = scheduler_.now();
+  const sim::TimePoint now = dir.src->now();
   // Everything due by now leaves as one span, in arrival order.  Move the
   // span out first: handle_rx_burst can synchronously transmit (TCP ACKs)
   // and grow rx_pending behind it.
@@ -185,10 +256,10 @@ void Link::flush_rx(Direction& dir) {
     dir.rx_pending.erase(dir.rx_pending.begin(),
                          dir.rx_pending.begin() +
                              static_cast<std::ptrdiff_t>(due));
-    if (down_) {
-      stats_.down_drops += due;
+    if (is_down()) {
+      dir.stats.down_drops_rx += due;
     } else {
-      stats_.delivered += due;
+      dir.stats.delivered += due;
       BatchCounters& c = batch_counters();
       c.bursts++;
       c.packets += due;
@@ -198,8 +269,8 @@ void Link::flush_rx(Direction& dir) {
   if (!dir.rx_pending.empty() && !dir.rx_flush_scheduled) {
     dir.rx_flush_scheduled = true;
     dir.rx_flush_at = dir.rx_pending.front().first;
-    dir.rx_flush_timer = scheduler_.schedule_at(dir.rx_flush_at,
-                                                [this, &dir] { flush_rx(dir); });
+    dir.rx_flush_timer = dir.src->schedule_at(dir.rx_flush_at,
+                                              [this, &dir] { flush_rx(dir); });
   }
 }
 

@@ -15,12 +15,20 @@ class LossModel {
  public:
   virtual ~LossModel() = default;
   virtual bool should_drop(Rng& rng, std::size_t frame_size) = 0;
+
+  /// Fresh model with the same parameters but reset state.  Cross-shard
+  /// links clone the configured model per direction so each transmitting
+  /// shard draws from its own (deterministic) stream.
+  virtual std::unique_ptr<LossModel> clone() const = 0;
 };
 
 /// Never drops (the default).
 class NoLoss final : public LossModel {
  public:
   bool should_drop(Rng&, std::size_t) override { return false; }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<NoLoss>();
+  }
 };
 
 /// Independent (Bernoulli) loss with probability p.
@@ -29,6 +37,9 @@ class BernoulliLoss final : public LossModel {
   explicit BernoulliLoss(double p) : p_(p) {}
   bool should_drop(Rng& rng, std::size_t) override {
     return rng.bernoulli(p_);
+  }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<BernoulliLoss>(p_);
   }
 
  private:
@@ -56,6 +67,9 @@ class GilbertElliottLoss final : public LossModel {
       if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
     }
     return rng.bernoulli(bad_ ? params_.p_bad : params_.p_good);
+  }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<GilbertElliottLoss>(params_);  // reset to good
   }
 
  private:

@@ -337,6 +337,13 @@ std::size_t Scheduler::run_until(TimePoint t) {
   return executed;
 }
 
+TimePoint Scheduler::next_due_lower_bound() {
+  if (live_ == 0) return kTimePointMax;
+  const NextDue due = find_next_due();
+  if (due.level < 0) return kTimePointMax;  // unreachable while live_ > 0
+  return TimePoint{due.time};
+}
+
 std::size_t Scheduler::run(std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events && run_next()) ++executed;

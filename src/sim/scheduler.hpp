@@ -95,6 +95,16 @@ class Scheduler {
   /// Number of pending (uncancelled) events.
   std::size_t pending() const { return live_; }
 
+  /// Lower bound on the time of the next event this scheduler would
+  /// execute: the earliest of the staging head, a due level-0 bucket, or
+  /// a higher-level bucket's cascade boundary.  A cascade boundary may
+  /// precede the actual event inside it, so this is a bound, not the
+  /// exact time — which is exactly what conservative-lookahead epoch
+  /// advancement needs.  Returns kTimePointMax when nothing is pending.
+  /// Non-const for the same reason as find_next_due (lazily pops
+  /// cancelled staging heads).
+  TimePoint next_due_lower_bound();
+
   /// Timing-wheel telemetry.  `wheel_inserts` counts every bucket
   /// placement (staging flushes plus cascade re-inserts); events that
   /// fire or are cancelled while still in the staging buffer never touch

@@ -37,6 +37,9 @@ struct TimePoint {
   constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
 };
 
+/// Sentinel for "no pending event": later than any reachable instant.
+inline constexpr TimePoint kTimePointMax{INT64_MAX};
+
 constexpr Duration nanoseconds(std::int64_t n) { return {n}; }
 constexpr Duration microseconds(std::int64_t n) { return {n * 1000}; }
 constexpr Duration milliseconds(std::int64_t n) { return {n * 1000000}; }

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,9 +49,15 @@ class EventTimeline {
   explicit EventTimeline(std::size_t max_events = 100000)
       : max_events_(max_events) {}
 
+  /// Thread-safe: hosts on different shards record concurrently.  Events
+  /// land in emission order per shard; cross-shard interleaving at equal
+  /// timestamps is not deterministic — consumers that compare timelines
+  /// across runs sort by (at, node, kind) first.
   void record(sim::TimePoint at, std::string node, std::string kind,
               std::string detail = {});
 
+  /// Readers run at quiescent points (no shard executing); the accessors
+  /// below deliberately stay lock-free borrows.
   const std::vector<Event>& events() const { return events_; }
   std::size_t dropped() const { return dropped_; }
 
@@ -64,6 +72,9 @@ class EventTimeline {
   void clear();
 
  private:
+  /// Serialises record() across shard threads; behind a pointer so the
+  /// timeline (and the Registry holding it) stays movable.
+  std::unique_ptr<std::mutex> record_mu_ = std::make_unique<std::mutex>();
   std::size_t max_events_;
   std::vector<Event> events_;
   std::size_t dropped_ = 0;

@@ -22,14 +22,29 @@ const char* to_string(Setup setup) {
 }
 
 Testbed::Testbed(TestbedConfig config)
-    : config_(config), net_(config.seed) {
+    : config_(config), net_(config.seed, config.shards) {
   const int servers =
       config_.setup == Setup::primary_backup ? 1 + config_.backups : 1;
 
-  client_ = &net_.add_host("client");
-  redirector_host_ = &net_.add_host("redirector");
+  // Pin hosts to shards along the star topology (every link touches the
+  // redirector, so the partition planner keeps it with the largest group
+  // balance allows and spreads the rest).
+  std::vector<std::string> names{"client", "redirector"};
+  std::vector<std::pair<std::string, std::string>> edges{
+      {"client", "redirector"}};
   for (int i = 0; i < servers; ++i) {
-    servers_.push_back(&net_.add_host("server" + std::to_string(i + 1)));
+    names.push_back("server" + std::to_string(i + 1));
+    edges.emplace_back("redirector", names.back());
+  }
+  auto partition =
+      host::Network::plan_partition(names, edges, config_.shards);
+
+  client_ = &net_.add_host("client", partition.at("client"));
+  redirector_host_ =
+      &net_.add_host("redirector", partition.at("redirector"));
+  for (int i = 0; i < servers; ++i) {
+    const std::string name = "server" + std::to_string(i + 1);
+    servers_.push_back(&net_.add_host(name, partition.at(name)));
   }
 
   link::Link::Config link_config;

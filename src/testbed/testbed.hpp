@@ -36,6 +36,11 @@ struct TestbedConfig {
   int backups = 1;  ///< used by primary_backup
   net::Endpoint service{net::Ipv4Address(192, 20, 225, 20), 5001};
   std::uint64_t seed = 42;
+  /// Engine shards.  Hosts are pinned with Network::plan_partition over
+  /// the star topology (the redirector is the hub, so it shares a shard
+  /// with as many peers as balance allows).  1 = the classic
+  /// single-threaded engine, byte-identical to pre-sharding builds.
+  std::size_t shards = 1;
 
   // --- hardware models (calibrated against Figure 4's shape) ---
   double link_bandwidth_bps = 10e6;  ///< 10 Mb/s Ethernet

@@ -9,7 +9,11 @@ namespace {
 Recorder* g_recorder = nullptr;
 
 #if HYDRANET_TRACING
-std::uint64_t g_ambient_ctx = 0;
+// The ambient context is an implicit argument of the *current execution
+// context*: each shard thread dispatches its own events, so the value is
+// per-thread state.  Cross-shard parentage does not flow through it — it
+// rides inside the packet (`datagram.trace_ctx`) through the mailboxes.
+thread_local std::uint64_t g_ambient_ctx = 0;
 #endif
 
 // Span ids encode (node, per-node sequence): the interned node index (+1,

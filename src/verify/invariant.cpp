@@ -1,17 +1,28 @@
 #include "verify/invariant.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <unordered_set>
 
 namespace hydranet::verify {
 namespace {
 
-// The simulator is single-threaded; plain counters keep the report path
-// free of atomic traffic.
-std::uint64_t g_counts[kCategoryCount] = {};
+// Violations may now be reported from any shard thread; relaxed atomics
+// keep the (cold — all-zero in a healthy run) report path race-free
+// without ordering cost.
+std::atomic<std::uint64_t> g_counts[kCategoryCount] = {};
 Sink g_sink;
+
+// The taint registry is written by redirector hosts and read by backup
+// FTCP stacks, which may live on different shards; a mutex is fine — the
+// set is touched per failover transition, not per packet.
+std::mutex& taint_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 std::unordered_set<std::uint64_t>& taint_set() {
   static std::unordered_set<std::uint64_t> set;
@@ -62,7 +73,8 @@ Sink set_sink(Sink sink) {
 
 void report(Category category, const char* file, int line,
             const char* condition, const char* format, ...) {
-  ++g_counts[static_cast<std::size_t>(category)];
+  g_counts[static_cast<std::size_t>(category)].fetch_add(
+      1, std::memory_order_relaxed);
 
   char detail[512];
   va_list args;
@@ -90,17 +102,20 @@ void report(Category category, const char* file, int line,
 }
 
 std::uint64_t violation_count(Category category) {
-  return g_counts[static_cast<std::size_t>(category)];
+  return g_counts[static_cast<std::size_t>(category)].load(
+      std::memory_order_relaxed);
 }
 
 std::uint64_t total_violations() {
   std::uint64_t total = 0;
-  for (std::uint64_t count : g_counts) total += count;
+  for (const auto& count : g_counts) {
+    total += count.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 void reset_counters() {
-  for (std::uint64_t& count : g_counts) count = 0;
+  for (auto& count : g_counts) count.store(0, std::memory_order_relaxed);
 }
 
 ScopedCollector::ScopedCollector()
@@ -121,10 +136,19 @@ std::uint64_t flow_key(std::uint32_t service_ip, std::uint16_t service_port) {
   return (static_cast<std::uint64_t>(service_ip) << 16) | service_port;
 }
 
-void mark_backup_emission(std::uint64_t key) { taint_set().insert(key); }
+void mark_backup_emission(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(taint_mutex());
+  taint_set().insert(key);
+}
 
-bool backup_emitted(std::uint64_t key) { return taint_set().contains(key); }
+bool backup_emitted(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(taint_mutex());
+  return taint_set().contains(key);
+}
 
-void clear_backup_emissions() { taint_set().clear(); }
+void clear_backup_emissions() {
+  std::lock_guard<std::mutex> lock(taint_mutex());
+  taint_set().clear();
+}
 
 }  // namespace hydranet::verify

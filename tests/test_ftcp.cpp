@@ -320,6 +320,9 @@ TEST(FtChain, AckChannelLossIsAbsorbedByClientRetransmission) {
     bool should_drop(Rng& rng, std::size_t size) override {
       return size < 120 && rng.bernoulli(0.3);
     }
+    std::unique_ptr<link::LossModel> clone() const override {
+      return std::make_unique<SmallFrameLoss>();
+    }
   };
   // servers[1]'s link is the 3rd link created (client, s1, s2) — fetch via
   // interface stats instead: inject on rd<->s2 link by replacing its loss

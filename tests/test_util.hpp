@@ -47,6 +47,9 @@ class DropNth final : public link::LossModel {
     }
     return false;
   }
+  std::unique_ptr<link::LossModel> clone() const override {
+    return std::make_unique<DropNth>(targets_, min_size_);  // count resets
+  }
 
  private:
   std::vector<std::uint64_t> targets_;

@@ -20,7 +20,7 @@ import sys
 import tempfile
 
 
-def run_bench(bench, packets, runs):
+def run_bench(bench, packets, runs, shards=None):
     """Best-of-N: keeps, per scenario, the run with the highest rate (wall
     clock only gets slower under interference, never faster)."""
     best = {}
@@ -28,9 +28,12 @@ def run_bench(bench, packets, runs):
     for i in range(runs):
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             path = tmp.name
+        cmd = [bench, "--packets", str(packets), "--json", path]
+        if shards:
+            cmd += ["--shards", shards]
         try:
             subprocess.run(
-                [bench, "--packets", str(packets), "--json", path],
+                cmd,
                 check=True,
                 stdout=subprocess.DEVNULL,
                 stderr=subprocess.DEVNULL,
@@ -63,9 +66,14 @@ def main():
                         help="allowed fractional regression (default 0.15)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run and exit")
+    parser.add_argument("--shards", default=None,
+                        help="run the sharded-engine sweep instead (e.g. "
+                             "1,2,4,8) and gate the 4-shard speedup against "
+                             "BENCH_shards.json")
     args = parser.parse_args()
 
-    doc, scenarios = run_bench(args.bench, args.packets, args.runs)
+    doc, scenarios = run_bench(args.bench, args.packets, args.runs,
+                               args.shards)
 
     if args.update:
         doc["scenarios"] = scenarios
@@ -105,6 +113,32 @@ def main():
     for name in sorted(missing):
         print(f"{name:24s} missing from current run")
         failed.append((name, f"{name}: in baseline but missing from this run"))
+
+    # Sharded-engine scaling gate (--shards sweeps only): the 4-shard
+    # one-hop fleet must aggregate >= 2x the 1-shard rate.  Compared
+    # in-run (same machine, same interference), and only where there are
+    # cores to scale onto — on a 1-core box the shard threads just
+    # time-slice one core, so the ratio is reported but not enforced.
+    if args.shards:
+        shard_rates = {s["name"]: s["packets_per_wall_second"]
+                       for s in scenarios}
+        s1 = shard_rates.get("one_hop_s1")
+        s4 = shard_rates.get("one_hop_s4")
+        cores = doc.get("hardware_threads", 0)
+        if s1 and s4:
+            speedup = s4 / s1
+            if cores >= 4:
+                verdict = "ok" if speedup >= 2.0 else "REGRESSION"
+                print(f"{'4-shard speedup':24s} {speedup:11.2f}x vs 1 shard "
+                      f"(>= 2.0x required)  {verdict}")
+                if verdict != "ok":
+                    failed.append(("shard_scaling",
+                                   f"shard_scaling: expected one_hop_s4 >= "
+                                   f"2x one_hop_s1 aggregate pkt/s, "
+                                   f"measured {speedup:.2f}x"))
+            else:
+                print(f"{'4-shard speedup':24s} {speedup:11.2f}x vs 1 shard "
+                      f"(gate skipped: {cores} hardware thread(s) < 4)")
 
     # Tracer-overhead gate: with sampling at 1-in-64 the causal tracer
     # must cost < 5% of the untraced ft-chain rate.  Compared in-run

@@ -47,7 +47,8 @@ SKIP = 77
 # with slashes (include paths) or other characters never match because the
 # match is anchored over the entire literal.
 METRIC_RE = re.compile(
-    r"(ip|tcp|link|redirector|ftcp|mgmt|datapath|scheduler|invariant|trace)"
+    r"(ip|tcp|link|redirector|ftcp|mgmt|datapath|scheduler|shard|invariant"
+    r"|trace)"
     r"\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
 )
 # Causal-tracer span names: `span.<layer>.<what>` (src/trace2/span.hpp).
