@@ -20,9 +20,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace hydranet {
 
@@ -58,7 +59,7 @@ class PerThreadCounters {
   /// Wrapping field-wise sum over all live threads' blocks plus every
   /// exited thread's folded remainder.  Quiescent points only.
   T totals() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     T out = retired_;
     for (const T* block : live_) detail::wrapping_accumulate(out, *block);
     return out;
@@ -67,7 +68,7 @@ class PerThreadCounters {
   /// Zeroes every live block and the retired accumulator.  Quiescent
   /// points only (benches/tests reset between runs).
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     retired_ = T{};
     for (T* block : live_) *block = T{};
   }
@@ -77,7 +78,7 @@ class PerThreadCounters {
   /// page/live gauges keep tracking real state).  Quiescent points only.
   template <typename Fn>
   void for_each_block(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     fn(retired_);
     for (T* block : live_) fn(*block);
   }
@@ -85,11 +86,11 @@ class PerThreadCounters {
  private:
   struct Holder {
     explicit Holder(PerThreadCounters& owner_in) : owner(owner_in) {
-      std::lock_guard<std::mutex> lock(owner.mu_);
+      LockGuard lock(owner.mu_);
       owner.live_.push_back(&block);
     }
     ~Holder() {
-      std::lock_guard<std::mutex> lock(owner.mu_);
+      LockGuard lock(owner.mu_);
       detail::wrapping_accumulate(owner.retired_, block);
       auto& live = owner.live_;
       for (std::size_t i = 0; i < live.size(); ++i) {
@@ -104,9 +105,12 @@ class PerThreadCounters {
     T block{};
   };
 
-  mutable std::mutex mu_;
-  std::vector<T*> live_;
-  T retired_{};
+  mutable Mutex mu_;
+  /// Registration only: which blocks exist.  The blocks' *contents* are
+  /// written lock-free by their owning threads (that is the whole point)
+  /// and summed at quiescent points — see the contract above.
+  std::vector<T*> live_ HN_GUARDED_BY(mu_);
+  T retired_ HN_GUARDED_BY(mu_) = {};
 };
 
 }  // namespace hydranet

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "common/slab.hpp"
+#include "common/thread_annotations.hpp"
 #include "ftcp/ack_channel.hpp"
 #include "ftcp/failure_detector.hpp"
 #include "host/host.hpp"
@@ -76,7 +77,7 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   void set_successor(std::optional<net::Ipv4Address> host_address);
   /// Fail-over: this backup becomes the primary — it starts answering the
   /// client and replays everything unacknowledged.
-  void promote_to_primary();
+  HN_SHARD_AFFINE void promote_to_primary();
   /// This replica is being removed (failure shut-down or voluntary leave):
   /// abort its connections and uninstall the port machinery.
   void shutdown();
@@ -92,17 +93,22 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
 
   // ---- TcpConnectionHooks ------------------------------------------------
 
-  std::uint32_t deposit_limit(const tcp::TcpConnection& connection,
+  HN_SHARD_AFFINE std::uint32_t deposit_limit(
+      const tcp::TcpConnection& connection,
                               std::uint32_t in_order_end) override;
-  std::uint32_t transmit_limit(const tcp::TcpConnection& connection,
+  HN_SHARD_AFFINE std::uint32_t transmit_limit(
+      const tcp::TcpConnection& connection,
                                std::uint32_t window_limit) override;
-  bool filter_segment(tcp::TcpConnection& connection,
+  HN_SHARD_AFFINE bool filter_segment(tcp::TcpConnection& connection,
                       const net::TcpSegment& segment) override;
-  void on_client_retransmission(tcp::TcpConnection& connection) override;
-  void on_retransmission_timeout(tcp::TcpConnection& connection) override;
-  void on_established(tcp::TcpConnection& connection) override;
-  void on_connection_closed(tcp::TcpConnection& connection) override;
-  bool gate_marks(const tcp::TcpConnection& connection,
+  HN_SHARD_AFFINE void on_client_retransmission(
+      tcp::TcpConnection& connection) override;
+  HN_SHARD_AFFINE void on_retransmission_timeout(
+      tcp::TcpConnection& connection) override;
+  HN_SHARD_AFFINE void on_established(tcp::TcpConnection& connection) override;
+  HN_SHARD_AFFINE void on_connection_closed(
+      tcp::TcpConnection& connection) override;
+  HN_SHARD_AFFINE bool gate_marks(const tcp::TcpConnection& connection,
                   tcp::GateMarks& out) override;
 
   // ---- introspection (tests, benches) ------------------------------------
@@ -173,13 +179,13 @@ class ReplicatedService final : public tcp::TcpConnectionHooks {
   void raise_failure_signal(tcp::TcpConnection& connection, ConnState& state);
 
   void install_port_options();
-  void on_channel_message(const net::Endpoint& from,
+  HN_SHARD_AFFINE void on_channel_message(const net::Endpoint& from,
                           const AckChannelMessage& message);
-  void on_orphan_segment(const net::Ipv4Header& header,
+  HN_SHARD_AFFINE void on_orphan_segment(const net::Ipv4Header& header,
                          const net::TcpSegment& segment);
   void report(const tcp::ConnectionKey& key, std::uint32_t snd_nxt,
               std::uint32_t rcv_nxt, bool passthrough);
-  void refresh();
+  HN_SHARD_AFFINE void refresh();
   /// Immediately re-reports all live connection states to the predecessor.
   void refresh_now();
   void poke_connections();

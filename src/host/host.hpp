@@ -9,6 +9,7 @@
 #include <string>
 
 #include "icmp/icmp.hpp"
+#include "common/thread_annotations.hpp"
 #include "ip/ip_stack.hpp"
 #include "link/cpu_model.hpp"
 #include "sim/scheduler.hpp"
@@ -69,7 +70,8 @@ class Host {
   /// Records a timeline event under this host's name at the current virtual
   /// time.  No-op when no timeline is attached (e.g. hosts built outside a
   /// Network in unit tests).
-  void record_event(std::string kind, std::string detail = {}) {
+  HN_SHARD_AFFINE void record_event(std::string kind,
+                                    std::string detail = {}) {
     if (timeline_ != nullptr) {
       timeline_->record(scheduler_.now(), name_, std::move(kind),
                         std::move(detail));

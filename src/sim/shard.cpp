@@ -53,7 +53,7 @@ ShardEngine::ShardEngine(Config config) : config_(config) {
 
 ShardEngine::~ShardEngine() {
   {
-    std::lock_guard<std::mutex> lock(job_mu_);
+    LockGuard lock(job_mu_);
     shutdown_ = true;
   }
   job_cv_.notify_all();
@@ -108,10 +108,9 @@ std::size_t ShardEngine::drain_inboxes(std::size_t shard) {
   return drained;
 }
 
-void ShardEngine::participate(std::size_t shard) {
+void ShardEngine::participate(std::size_t shard, Job job) {
   Scheduler& sched = *schedulers_[shard];
   t_shard = TlsShard{this, shard, &sched};
-  const Job job = job_;  // stable for the whole job (written before dispatch)
   while (true) {
     // Drain phase: producers are quiescent (they sit between the post-run
     // barrier of the previous round and this round's reduce barrier).
@@ -159,13 +158,17 @@ void ShardEngine::participate(std::size_t shard) {
 void ShardEngine::worker_main(std::size_t shard) {
   std::uint64_t seen = 0;
   while (true) {
+    Job job;
     {
-      std::unique_lock<std::mutex> lock(job_mu_);
-      job_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen; });
+      UniqueLock lock(job_mu_);
+      // Explicit wait loop: a predicate lambda would read the guarded
+      // fields from a scope the thread-safety analysis cannot see into.
+      while (!shutdown_ && job_seq_ == seen) job_cv_.wait(lock.native());
       if (shutdown_) return;
       seen = job_seq_;
+      job = job_;  // copied under the lock; stable for the whole job
     }
-    participate(shard);
+    participate(shard, job);
   }
 }
 
@@ -173,18 +176,18 @@ std::size_t ShardEngine::start_job(Job job) {
   assert(!running_ && "the engine does not support re-entrant runs");
   {
     // Coordinator state is only ever touched under barrier_mu_.
-    std::lock_guard<std::mutex> lock(barrier_mu_);
+    LockGuard lock(barrier_mu_);
     at_target_ = false;
   }
   std::fill(executed_.begin(), executed_.end(), 0);
   running_ = true;
   {
-    std::lock_guard<std::mutex> lock(job_mu_);
+    LockGuard lock(job_mu_);
     job_ = job;
     ++job_seq_;
   }
   job_cv_.notify_all();
-  participate(0);
+  participate(0, job);
   running_ = false;
   std::size_t total = 0;
   for (std::size_t e : executed_) total += e;

@@ -38,11 +38,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -148,7 +148,7 @@ class ShardEngine {
   /// lock.
   template <typename Fn>
   Decision barrier(Fn&& on_last) {
-    std::unique_lock<std::mutex> lock(barrier_mu_);
+    UniqueLock lock(barrier_mu_);
     const std::uint64_t phase = barrier_phase_;
     if (++barrier_waiting_ == schedulers_.size()) {
       barrier_waiting_ = 0;
@@ -159,16 +159,28 @@ class ShardEngine {
       barrier_cv_.notify_all();
       return decision;
     }
-    barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
+    // Explicit wait loop (not the predicate overload): the predicate would
+    // read barrier_phase_ from a lambda scope the thread-safety analysis
+    // cannot see the held lock in.
+    while (barrier_phase_ == phase) barrier_cv_.wait(lock.native());
     return decisions_[phase & 1];
   }
   void barrier() {
     barrier([](Decision&) {});
   }
 
+  struct Job {
+    TimePoint target;        ///< run_until bound (kTimePointMax: drain mode)
+    bool drain_mode = false;
+    std::size_t max_events = SIZE_MAX;
+  };
+
   /// One shard's participation in a full job (run_until or drain mode);
   /// every shard executes this in lockstep, shard 0 on the main thread.
-  void participate(std::size_t shard);
+  /// The job is passed by value — each participant copies it out of job_
+  /// under job_mu_ (the dispatch handshake), so the shared slot is only
+  /// ever touched with the lock held.
+  void participate(std::size_t shard, Job job);
   std::size_t drain_inboxes(std::size_t shard);
   void worker_main(std::size_t shard);
 
@@ -182,35 +194,37 @@ class ShardEngine {
   Duration lookahead_{INT64_MAX};  ///< no cross-shard link yet: unbounded
 
   // ---- job dispatch (shards > 1 only) ------------------------------------
-  struct Job {
-    TimePoint target;        ///< run_until bound (kTimePointMax: drain mode)
-    bool drain_mode = false;
-    std::size_t max_events = SIZE_MAX;
-  };
   std::vector<std::thread> workers_;
-  std::mutex job_mu_;
+  Mutex job_mu_;
   std::condition_variable job_cv_;
-  std::uint64_t job_seq_ = 0;
-  bool shutdown_ = false;
-  Job job_;
+  std::uint64_t job_seq_ HN_GUARDED_BY(job_mu_) = 0;
+  bool shutdown_ HN_GUARDED_BY(job_mu_) = false;
+  Job job_ HN_GUARDED_BY(job_mu_);
 
   std::size_t start_job(Job job);
 
   // ---- barrier + per-round coordinator state -----------------------------
-  std::mutex barrier_mu_;
+  Mutex barrier_mu_;
   std::condition_variable barrier_cv_;
-  std::size_t barrier_waiting_ = 0;
-  std::uint64_t barrier_phase_ = 0;
-  Decision decisions_[2];
-  /// Written by each shard before the reduce barrier; read by the last
-  /// arriver under barrier_mu_.
+  std::size_t barrier_waiting_ HN_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_phase_ HN_GUARDED_BY(barrier_mu_) = 0;
+  Decision decisions_[2] HN_GUARDED_BY(barrier_mu_);
+  /// Written by each shard before the reduce barrier (its own slot only —
+  /// sharded-by-index, like counters_), read by the last arriver under
+  /// barrier_mu_; the barrier itself orders the two.  Not lock-annotatable:
+  /// the ownership contract is per-element, which the shard-affinity
+  /// analyzer (not the mutex analysis) polices.
   std::vector<TimePoint> next_due_;
   std::vector<std::size_t> executed_;
   /// Coordinator-only (touched under barrier_mu_): whether an epoch
   /// ending exactly at the job target has completed, i.e. all clocks sit
   /// at the target and a final lbts > target means done.
-  bool at_target_ = false;
-  bool running_ = false;  ///< true between job start and final barrier
+  bool at_target_ HN_GUARDED_BY(barrier_mu_) = false;
+  /// True between job start and final barrier.  Written by the main
+  /// thread only while every worker is parked in the job_mu_ handshake;
+  /// workers read it lock-free in post() during a run, after the
+  /// handshake's happens-before edge, and it cannot change mid-run.
+  bool running_ = false;
 };
 
 }  // namespace hydranet::sim

@@ -20,7 +20,7 @@ std::string Event::to_string() const {
 
 void EventTimeline::record(sim::TimePoint at, std::string node,
                            std::string kind, std::string detail) {
-  std::lock_guard<std::mutex> lock(*record_mu_);
+  LockGuard lock(record_mu_);
   if (events_.size() >= max_events_) {
     dropped_++;
     return;

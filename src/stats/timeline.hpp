@@ -8,12 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace hydranet::stats {
@@ -57,27 +56,37 @@ class EventTimeline {
               std::string detail = {});
 
   /// Readers run at quiescent points (no shard executing); the accessors
-  /// below deliberately stay lock-free borrows.
-  const std::vector<Event>& events() const { return events_; }
-  std::size_t dropped() const { return dropped_; }
+  /// below deliberately stay lock-free borrows — the engine's final
+  /// barrier provides the happens-before edge, so the analysis exemption
+  /// is sound (DESIGN.md §11).
+  const std::vector<Event>& events() const HN_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
+  std::size_t dropped() const HN_NO_THREAD_SAFETY_ANALYSIS {
+    return dropped_;
+  }
 
   /// First event of `kind`, in emission order.
-  std::optional<Event> first(const std::string& kind) const;
+  std::optional<Event> first(const std::string& kind) const
+      HN_NO_THREAD_SAFETY_ANALYSIS;
   /// First event of `kind` at or after `t`.
-  std::optional<Event> first_after(const std::string& kind,
-                                   sim::TimePoint t) const;
+  std::optional<Event> first_after(const std::string& kind, sim::TimePoint t)
+      const HN_NO_THREAD_SAFETY_ANALYSIS;
   /// All events of `kind`, in emission order.
-  std::vector<Event> select(const std::string& kind) const;
+  std::vector<Event> select(const std::string& kind) const
+      HN_NO_THREAD_SAFETY_ANALYSIS;
 
-  void clear();
+  void clear() HN_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  /// Serialises record() across shard threads; behind a pointer so the
-  /// timeline (and the Registry holding it) stays movable.
-  std::unique_ptr<std::mutex> record_mu_ = std::make_unique<std::mutex>();
+  /// Serialises record() across shard threads.  hn::Mutex is movable (a
+  /// move constructs a fresh unlocked mutex), so the timeline — and the
+  /// Registry holding it — stays movable without the old heap-allocated
+  /// std::mutex and its pointer chase on every record().
+  mutable Mutex record_mu_;
   std::size_t max_events_;
-  std::vector<Event> events_;
-  std::size_t dropped_ = 0;
+  std::vector<Event> events_ HN_GUARDED_BY(record_mu_);
+  std::size_t dropped_ HN_GUARDED_BY(record_mu_) = 0;
 };
 
 }  // namespace hydranet::stats

@@ -11,6 +11,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/slab.hpp"
+#include "common/thread_annotations.hpp"
 #include "ip/ip_stack.hpp"
 #include "net/address.hpp"
 #include "tcp/tcp_connection.hpp"
@@ -144,7 +145,8 @@ class TcpStack {
     bool empty() const { return exact.empty() && wildcard == nullptr; }
   };
 
-  void on_segment_datagram(const net::Ipv4Header& header, CowBytes payload);
+  HN_SHARD_AFFINE void on_segment_datagram(const net::Ipv4Header& header,
+                                           CowBytes payload);
   TcpListener* find_listener(net::Ipv4Address address, std::uint16_t port);
   void send_reset_for(const net::Ipv4Header& header,
                       const net::TcpSegment& segment);
@@ -165,7 +167,7 @@ class TcpStack {
     sim::TimePoint deadline{};
     bool armed = false;
   };
-  void on_page_tick(std::size_t page);
+  HN_SHARD_AFFINE void on_page_tick(std::size_t page);
 
   ip::IpStack& ip_;
   Rng rng_;

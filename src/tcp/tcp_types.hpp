@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "net/address.hpp"
 #include "net/tcp_header.hpp"
 #include "sim/time.hpp"
@@ -134,24 +135,27 @@ class TcpConnectionHooks {
   /// data may be deposited into the application socket buffer.  Byte k may
   /// be deposited iff the successor reported ACK# > k; the last backup
   /// returns `in_order_end` (deposit everything available).
-  virtual std::uint32_t deposit_limit(const TcpConnection& connection,
+  HN_SHARD_AFFINE virtual std::uint32_t deposit_limit(
+      const TcpConnection& connection,
                                       std::uint32_t in_order_end) = 0;
 
   /// Send gate: the sequence number up to which (exclusive) server data may
   /// be (virtually) transmitted.  Byte k may go out iff the successor
   /// reported SEQ# covering k; the last backup returns `window_limit`.
-  virtual std::uint32_t transmit_limit(const TcpConnection& connection,
+  HN_SHARD_AFFINE virtual std::uint32_t transmit_limit(
+      const TcpConnection& connection,
                                        std::uint32_t window_limit) = 0;
 
   /// Filters every outgoing segment.  Returning false swallows it (backup
   /// behaviour: the flow-control fields have been observed and travel up
   /// the acknowledgement channel instead; the packet itself is discarded).
-  virtual bool filter_segment(TcpConnection& connection,
+  HN_SHARD_AFFINE virtual bool filter_segment(TcpConnection& connection,
                               const net::TcpSegment& segment) = 0;
 
   /// Failure estimator input: a client retransmission was observed
   /// (duplicate data at or below rcv_nxt, or a duplicate SYN).
-  virtual void on_client_retransmission(TcpConnection& connection) = 0;
+  HN_SHARD_AFFINE virtual void on_client_retransmission(
+      TcpConnection& connection) = 0;
 
   /// Failure estimator input for server-push traffic: this replica's own
   /// retransmission timer fired (its data is not being acknowledged).
@@ -159,20 +163,23 @@ class TcpConnectionHooks {
   /// never retransmits, so the broken flow-control loop surfaces as the
   /// replicas' own timeouts instead.  (An extension beyond the paper's
   /// client-retransmission estimator; see DESIGN.md.)
-  virtual void on_retransmission_timeout(TcpConnection& connection) = 0;
+  HN_SHARD_AFFINE virtual void on_retransmission_timeout(
+      TcpConnection& connection) = 0;
 
   /// The connection reached ESTABLISHED (replica endpoint may announce
   /// its initial flow state up the channel).
-  virtual void on_established(TcpConnection& connection) = 0;
+  HN_SHARD_AFFINE virtual void on_established(TcpConnection& connection) = 0;
 
   /// Terminal cleanup: the connection left the stack's demux tables.
-  virtual void on_connection_closed(TcpConnection& connection) = 0;
+  HN_SHARD_AFFINE virtual void on_connection_closed(
+      TcpConnection& connection) = 0;
 
   /// Fills `out` with a cacheable snapshot of the current gate state and
   /// returns true.  Implementations that cannot provide a stable snapshot
   /// return false (the default), which keeps every gate check on the
   /// authoritative deposit_limit()/transmit_limit() path.
-  virtual bool gate_marks(const TcpConnection& connection, GateMarks& out) {
+  HN_SHARD_AFFINE virtual bool gate_marks(const TcpConnection& connection,
+                                          GateMarks& out) {
     (void)connection;
     (void)out;
     return false;

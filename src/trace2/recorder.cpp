@@ -1,12 +1,19 @@
 #include "trace2/recorder.hpp"
 
+#include "common/thread_annotations.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hydranet::trace2 {
 
 namespace {
 
-Recorder* g_recorder = nullptr;
+/// Serialises install/uninstall (ScopedRecorder construction in tests,
+/// benches, the CLI).  Reads on the span hot path stay deliberately
+/// lock-free: installation happens at quiescent points only (no shard
+/// executing), so the engine's job-dispatch handshake provides the
+/// happens-before edge to every reader (DESIGN.md §11).
+Mutex g_install_mu;
+Recorder* g_recorder HN_GUARDED_BY(g_install_mu) = nullptr;
 
 #if HYDRANET_TRACING
 // The ambient context is an implicit argument of the *current execution
@@ -28,9 +35,12 @@ std::uint16_t id_node(std::uint64_t id) {
 
 }  // namespace
 
-Recorder* recorder() { return g_recorder; }
+// Quiescent-point reader (see g_install_mu above): the one sanctioned
+// lock-free access to the guarded slot.
+Recorder* recorder() HN_NO_THREAD_SAFETY_ANALYSIS { return g_recorder; }
 
 Recorder* install_recorder(Recorder* r) {
+  LockGuard lock(g_install_mu);
   Recorder* previous = g_recorder;
   g_recorder = r;
   return previous;

@@ -4,8 +4,10 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_set>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace hydranet::verify {
 namespace {
@@ -14,19 +16,32 @@ namespace {
 // keep the (cold — all-zero in a healthy run) report path race-free
 // without ordering cost.
 std::atomic<std::uint64_t> g_counts[kCategoryCount] = {};
-Sink g_sink;
+
+// The installed sink is swapped by tests (ScopedCollector) and read on
+// the cold report path, potentially from any shard thread; the mutex
+// serialises both, and report() copies the sink out before invoking it
+// so a sink may itself install/uninstall without deadlocking.
+struct SinkSlot {
+  Mutex mu;
+  Sink sink HN_GUARDED_BY(mu);
+};
+
+SinkSlot& sink_slot() {
+  static SinkSlot slot;
+  return slot;
+}
 
 // The taint registry is written by redirector hosts and read by backup
 // FTCP stacks, which may live on different shards; a mutex is fine — the
 // set is touched per failover transition, not per packet.
-std::mutex& taint_mutex() {
-  static std::mutex mu;
-  return mu;
-}
+struct TaintRegistry {
+  Mutex mu;
+  std::unordered_set<std::uint64_t> keys HN_GUARDED_BY(mu);
+};
 
-std::unordered_set<std::uint64_t>& taint_set() {
-  static std::unordered_set<std::uint64_t> set;
-  return set;
+TaintRegistry& taints() {
+  static TaintRegistry registry;
+  return registry;
 }
 
 }  // namespace
@@ -66,8 +81,10 @@ const char* metric_name(Category category) {
 }
 
 Sink set_sink(Sink sink) {
-  Sink previous = std::move(g_sink);
-  g_sink = std::move(sink);
+  SinkSlot& slot = sink_slot();
+  LockGuard lock(slot.mu);
+  Sink previous = std::move(slot.sink);
+  slot.sink = std::move(sink);
   return previous;
 }
 
@@ -82,14 +99,20 @@ void report(Category category, const char* file, int line,
   std::vsnprintf(detail, sizeof(detail), format, args);
   va_end(args);
 
-  if (g_sink) {
+  Sink sink;
+  {
+    SinkSlot& slot = sink_slot();
+    LockGuard lock(slot.mu);
+    sink = slot.sink;
+  }
+  if (sink) {
     Violation violation;
     violation.category = category;
     violation.file = file;
     violation.line = line;
     violation.condition = condition;
     violation.message = detail;
-    g_sink(violation);
+    sink(violation);
     return;
   }
 
@@ -137,18 +160,21 @@ std::uint64_t flow_key(std::uint32_t service_ip, std::uint16_t service_port) {
 }
 
 void mark_backup_emission(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(taint_mutex());
-  taint_set().insert(key);
+  TaintRegistry& registry = taints();
+  LockGuard lock(registry.mu);
+  registry.keys.insert(key);
 }
 
 bool backup_emitted(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(taint_mutex());
-  return taint_set().contains(key);
+  TaintRegistry& registry = taints();
+  LockGuard lock(registry.mu);
+  return registry.keys.contains(key);
 }
 
 void clear_backup_emissions() {
-  std::lock_guard<std::mutex> lock(taint_mutex());
-  taint_set().clear();
+  TaintRegistry& registry = taints();
+  LockGuard lock(registry.mu);
+  registry.keys.clear();
 }
 
 }  // namespace hydranet::verify

@@ -1,0 +1,4 @@
+// Deliberate violation for tools/test_lint_fixtures.py: a metric-shaped
+// string literal that is NOT catalogued in this fixture's DESIGN.md §8
+// table.  `run_static.py lint` must report it.
+static const char* kBogusMetric = "tcp.bogus_counter";

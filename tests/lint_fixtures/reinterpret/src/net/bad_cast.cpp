@@ -1,0 +1,5 @@
+// Deliberate violation for tools/test_lint_fixtures.py: a raw
+// reinterpret_cast outside src/common/ (the one sanctioned home).
+const char* sneak(const unsigned char* p) {
+  return reinterpret_cast<const char*>(p);
+}

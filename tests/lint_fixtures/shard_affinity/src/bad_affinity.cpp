@@ -1,0 +1,23 @@
+// Deliberate violations for tools/test_lint_fixtures.py, one per
+// shard-affinity rule:
+//   * rogue_entry carries HN_SHARD_AFFINE but is not in the analyzer's
+//     AFFINE_TABLE (marker drift);
+//   * peek_other_shard indexes another shard's scheduler directly;
+//   * sneak_post feeds the cross-shard mailboxes outside the link layer,
+//     and its closure resumes shard-affine work (record_event).
+#define HN_SHARD_AFFINE
+struct Engine { int& scheduler(int shard); void post(int, int, int, void (*)()); };
+struct Host { void record_event(const char*); };
+
+HN_SHARD_AFFINE void rogue_entry();
+
+int peek_other_shard(Engine& engine) { return engine.scheduler(1); }
+
+void sneak_post(Engine* engine_, Host* host) {
+  engine_->post(0, 1, 42, nullptr);
+}
+
+void closure_probe(Engine* engine_, Host* host) {
+  engine_->post(0, 1, 42,
+                [host] { host->record_event("crash_injected"); });
+}

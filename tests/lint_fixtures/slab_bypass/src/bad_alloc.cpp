@@ -1,0 +1,4 @@
+// Deliberate violation for tools/test_lint_fixtures.py: direct heap
+// allocation of slab-owned connection state.
+namespace tcp { struct TcpConnection {}; }
+void* leak() { return new tcp::TcpConnection(); }

@@ -1,0 +1,3 @@
+// Deliberate violation for tools/test_lint_fixtures.py: a span-shaped
+// string literal missing from the fixture DESIGN.md §8 span-name row.
+static const char* kBogusSpan = "span.tcp.bogus";

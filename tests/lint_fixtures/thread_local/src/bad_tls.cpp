@@ -1,0 +1,4 @@
+// Deliberate violation for tools/test_lint_fixtures.py: a thread_local
+// outside the shard_affinity.py allowlist — exactly the shape that
+// caused PR 8's TSan findings.
+thread_local int g_scratch = 0;

@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Static-analysis gate: clang-tidy, cppcheck, and custom repo lints.
+"""Static-analysis gate: clang-tidy, cppcheck, custom repo lints, Clang
+thread-safety analysis, and the shard-affinity analyzer.
 
 Usage:
-    run_static.py tidy     [--build-dir DIR] [--source-dir DIR]
-    run_static.py cppcheck [--source-dir DIR]
-    run_static.py lint     [--source-dir DIR]
+    run_static.py tidy         [--build-dir DIR] [--source-dir DIR]
+    run_static.py cppcheck     [--source-dir DIR]
+    run_static.py lint         [--source-dir DIR]
+    run_static.py threadsafety [--source-dir DIR]
+    run_static.py affinity     [--build-dir DIR] [--source-dir DIR]
+    run_static.py --all        [--build-dir DIR] [--source-dir DIR]
 
 Each mode prints normalised findings and exits non-zero when there are
 any — the baseline is empty by policy (fix findings, don't suppress
 them in a growing baseline file).  Exit code 77 means the required tool
 is not installed, which ctest (SKIP_RETURN_CODE 77) reports as a skip,
 keeping the suite green on minimal containers while CI images with the
-tools installed enforce the gate.
+tools installed enforce the gate.  `--all` runs every mode and prints a
+per-mode summary table (exit non-zero if any mode failed).
 
 The `lint` mode needs no external tools and always runs:
   * metric-name cross-check — every string literal in src/ that looks
@@ -30,6 +35,18 @@ The `lint` mode needs no external tools and always runs:
     freelist accounting the connection-scale bench depends on.  The
     arena itself placement-constructs through its type parameter, so it
     never spells the banned type names.
+
+The `threadsafety` mode compiles every src/ TU with Clang's
+-Wthread-safety -Werror=thread-safety (-fsyntax-only, so no build tree
+is needed), proving every HN_GUARDED_BY field access holds its mutex —
+the compile-time half of the concurrency contract (DESIGN.md §11).
+Skips (77) when no clang++ is installed, since the analysis is a Clang
+extension; the `analysis` CMake preset enforces the same flags in a
+full build when the configured compiler is Clang.
+
+The `affinity` mode runs tools/shard_affinity.py — the other half of
+the contract: HN_SHARD_AFFINE confinement, cross-shard reach-around
+bans, and the thread_local allowlist.  Token-level, so it always runs.
 """
 
 import argparse
@@ -166,6 +183,51 @@ def run_cppcheck(args):
     return report(sorted(set(findings)), "cppcheck")
 
 
+# ---- Clang thread-safety analysis -----------------------------------------
+
+
+def run_threadsafety(args):
+    clang = find_tool(["clang++", "clang++-18", "clang++-17", "clang++-16",
+                       "clang++-15"])
+    if not clang:
+        return skip("clang++ (thread-safety analysis is a Clang extension)")
+    source_root = pathlib.Path(args.source_dir).resolve()
+    findings = []
+    for path in repo_sources(args.source_dir):
+        if path.suffix != ".cpp":
+            continue
+        proc = subprocess.run(
+            [clang, "-fsyntax-only", "-std=c++20", "-xc++",
+             f"-I{source_root / 'src'}",
+             "-DHYDRANET_TRACING=1", "-DHYDRANET_INVARIANTS=1",
+             "-Wthread-safety", "-Werror=thread-safety",
+             "-Wno-everything", "-Wthread-safety",  # only this family
+             str(path)],
+            capture_output=True, text=True)
+        for line in proc.stderr.splitlines():
+            match = re.match(r"(/\S+?):(\d+):(\d+): (warning|error): (.*)",
+                             line)
+            if not match:
+                continue
+            try:
+                rel = pathlib.Path(match.group(1)).resolve().relative_to(
+                    source_root)
+            except ValueError:
+                continue
+            findings.append(f"{rel}:{match.group(2)}: {match.group(5)}")
+    return report(sorted(set(findings)), "thread-safety")
+
+
+# ---- shard-affinity analyzer ----------------------------------------------
+
+
+def run_affinity(args):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import shard_affinity  # noqa: PLC0415 — sibling module
+    findings = shard_affinity.run(args.source_dir, args.build_dir)
+    return report(findings, "shard-affinity")
+
+
 # ---- custom lints ---------------------------------------------------------
 
 
@@ -289,19 +351,45 @@ def run_lint(args):
     return report(findings, "lint")
 
 
+MODES = {
+    "tidy": run_tidy,
+    "cppcheck": run_cppcheck,
+    "lint": run_lint,
+    "threadsafety": run_threadsafety,
+    "affinity": run_affinity,
+}
+
+
+def run_all(args):
+    """Every mode in sequence, with a per-mode summary table."""
+    results = {}
+    for mode, runner in MODES.items():
+        print(f"==== {mode} " + "=" * (60 - len(mode)))
+        results[mode] = runner(args)
+    print()
+    print("mode          result")
+    print("------------  ------")
+    for mode, code in results.items():
+        status = {0: "OK", SKIP: "SKIP"}.get(code, "FAIL")
+        print(f"{mode:<12}  {status}")
+    return 1 if any(code not in (0, SKIP) for code in results.values()) else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["tidy", "cppcheck", "lint"])
+    parser.add_argument("mode", nargs="?", choices=sorted(MODES))
+    parser.add_argument("--all", action="store_true",
+                        help="run every mode with a summary table")
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--source-dir",
                         default=str(pathlib.Path(__file__).resolve().parent
                                     .parent))
     args = parser.parse_args()
-    if args.mode == "tidy":
-        return run_tidy(args)
-    if args.mode == "cppcheck":
-        return run_cppcheck(args)
-    return run_lint(args)
+    if args.all:
+        return run_all(args)
+    if args.mode is None:
+        parser.error("a mode (or --all) is required")
+    return MODES[args.mode](args)
 
 
 if __name__ == "__main__":

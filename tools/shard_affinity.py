@@ -1,0 +1,373 @@
+#!/usr/bin/env python3
+"""Shard-affinity analyzer: whole-program lint for the PR-8 concurrency
+contract (DESIGN.md §10/§11).
+
+The sharded engine's correctness rests on rules no compiler checks:
+per-host state is only touched by its owning shard's thread, cross-shard
+traffic flows only through the epoch mailboxes, and thread-local state is
+a curated exception list.  This tool enforces the mechanical shadow of
+those rules over every file in src/:
+
+  1. *marker drift* — the entry points through which shard dispatch enters
+     per-host state (Host / TcpStack / GatingHooks / ReplicatedService)
+     are marked HN_SHARD_AFFINE in the source; the table below is the
+     contract.  A marked method missing from the table, or a tabled method
+     whose marker disappeared, is a finding — mirroring the metric-name
+     lint, so the markers can never silently rot.
+  2. *cross-shard reach-around* — outside the engine/topology/link layer,
+     no code may index another shard's scheduler (`engine.scheduler(i)`)
+     or post into the mailboxes directly (`engine->post(...)`): cross-
+     shard effects go through Link::transmit, which is the one audited
+     user of ShardEngine::post.
+  3. *thread_local allowlist* — PR 8's TSan fix showed stray process/
+     thread globals are exactly how races sneak in.  Every `thread_local`
+     in src/ must be on the allowlist below (trace2 ambient ctx, the
+     per-thread counter blocks, the packet-buffer freelists, the engine's
+     own shard slot).
+  4. *affine confinement* — shard-affine methods may only be called from
+     the shard-affine modules (the per-host datapath: host/ip/tcp/udp/
+     icmp/ftcp/redirector/mgmt/apps/link/testbed).  Cross-thread
+     infrastructure (src/common, src/sim, src/stats, src/trace*,
+     src/verify) naming one is a layering breach: that code runs on
+     arbitrary threads.
+  5. *post-closure confinement* — a closure handed to ShardEngine::post
+     executes on the destination shard in a later epoch; only the link
+     delivery path (src/link/link.cpp) may resume affine work there.
+     An affine call inside a post closure anywhere else is a finding.
+
+Analysis is token-level by default (always available, deterministic) and
+upgrades rule 4 to AST accuracy via libclang + compile_commands.json when
+both are importable/present; any libclang failure falls back to the token
+scan, so the gate never skips.  Exit 0 clean, 1 findings — empty-baseline
+policy, like every other mode of tools/run_static.py.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# ---- the contract tables ---------------------------------------------------
+
+# (repo-relative file) -> method names that must carry HN_SHARD_AFFINE.
+# Rule 1 checks both directions, but only for files present in the scanned
+# tree (so fixture trees exercise single rules without dragging this in).
+AFFINE_TABLE = {
+    "src/host/host.hpp": {"record_event"},
+    "src/tcp/tcp_stack.hpp": {"on_segment_datagram", "on_page_tick"},
+    "src/tcp/tcp_types.hpp": {
+        "deposit_limit", "transmit_limit", "filter_segment",
+        "on_client_retransmission", "on_retransmission_timeout",
+        "on_established", "on_connection_closed", "gate_marks",
+    },
+    "src/ftcp/replicated_service.hpp": {
+        "deposit_limit", "transmit_limit", "filter_segment",
+        "on_client_retransmission", "on_retransmission_timeout",
+        "on_established", "on_connection_closed", "gate_marks",
+        "promote_to_primary", "on_channel_message", "on_orphan_segment",
+        "refresh",
+    },
+}
+
+# Modules whose code runs on the owning shard's thread (per-host datapath
+# plus the topology/test scaffolding that runs at quiescent points).
+AFFINE_MODULES = (
+    "src/host/", "src/ip/", "src/tcp/", "src/udp/", "src/icmp/",
+    "src/ftcp/", "src/redirector/", "src/mgmt/", "src/apps/",
+    "src/link/", "src/testbed/",
+)
+
+# The only files that may index schedulers by shard or call
+# ShardEngine::post: the engine itself, the topology builder, the link.
+ENGINE_ALLOWLIST = {
+    "src/sim/shard.hpp", "src/sim/shard.cpp",
+    "src/host/network.hpp", "src/host/network.cpp",
+    "src/link/link.hpp", "src/link/link.cpp",
+}
+
+# The only file whose post closures may resume affine work (delivery runs
+# on the destination shard, which owns the receiving host).
+POST_CLOSURE_ALLOWLIST = {"src/link/link.cpp"}
+
+# (repo-relative file, declared name) pairs sanctioned to be thread_local.
+THREAD_LOCAL_ALLOWLIST = {
+    ("src/sim/shard.cpp", "t_shard"),           # engine's own shard slot
+    ("src/trace2/recorder.cpp", "g_ambient_ctx"),  # ambient trace ctx
+    ("src/common/tls_counters.hpp", "holder"),  # per-thread counter blocks
+    ("src/common/packet_buffer.cpp", "pool"),   # per-thread freelists
+}
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# `engine.scheduler(x)` / `engine_->scheduler(x)` with a non-empty
+# argument: indexing some shard's wheel by number.  The no-argument
+# accessors (Host::scheduler(), Network::scheduler()) are fine.
+SCHED_INDEX_RE = re.compile(r"(?:\.|->)\s*scheduler\s*\(\s*[^)\s]")
+# ShardEngine::post through any engine-shaped receiver.
+ENGINE_POST_RE = re.compile(r"\bengine\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*post\s*\(")
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b([^;={(]*)")
+MARKER = "HN_SHARD_AFFINE"
+
+
+def repo_sources(source_dir):
+    root = pathlib.Path(source_dir) / "src"
+    return sorted(p for p in root.rglob("*") if p.suffix in (".cpp", ".hpp"))
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving line structure."""
+    text = re.sub(r"/\*.*?\*/",
+                  lambda m: re.sub(r"[^\n]", " ", m.group(0)), text,
+                  flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def marker_method_name(lines, index):
+    """The method a HN_SHARD_AFFINE marker applies to: the last identifier
+    before the first '(' at or after the marker (declarations may wrap)."""
+    window = " ".join(lines[index:index + 4])
+    window = window[window.index(MARKER) + len(MARKER):]
+    head = window.split("(", 1)[0]
+    idents = [t for t in IDENT_RE.findall(head)
+              if t not in ("virtual", "void", "bool", "std", "uint32_t",
+                           "const", "inline", "override")]
+    return idents[-1] if idents else None
+
+
+def collect_markers(source_dir):
+    """(rel_path, line, method) for every HN_SHARD_AFFINE in src/, skipping
+    the macro's own definition."""
+    markers = []
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if rel == "src/common/thread_annotations.hpp":
+            continue
+        lines = strip_comments(path.read_text()).splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if MARKER not in line or re.match(r"\s*#\s*define\b", line):
+                continue
+            name = marker_method_name(lines, lineno - 1)
+            markers.append((rel, lineno, name))
+    return markers
+
+
+def check_marker_drift(source_dir, markers, findings):
+    marked = {}
+    for rel, lineno, name in markers:
+        marked.setdefault(rel, {})[name] = lineno
+    for rel, lineno, name in markers:
+        expected = AFFINE_TABLE.get(rel)
+        if expected is None or name not in expected:
+            findings.append(
+                f"{rel}:{lineno}: HN_SHARD_AFFINE on `{name}` is not in the "
+                "shard_affinity.py AFFINE_TABLE — new affine entry points "
+                "must be catalogued there (and in DESIGN.md §11)")
+    for rel, expected in AFFINE_TABLE.items():
+        if not (pathlib.Path(source_dir) / rel).exists():
+            continue  # fixture trees exercise single rules
+        for name in sorted(expected - set(marked.get(rel, {}))):
+            findings.append(
+                f"{rel}: `{name}` is catalogued as shard-affine but carries "
+                "no HN_SHARD_AFFINE marker")
+
+
+def check_engine_access(source_dir, findings):
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if rel in ENGINE_ALLOWLIST:
+            continue
+        for lineno, line in enumerate(
+                strip_comments(path.read_text()).splitlines(), 1):
+            if SCHED_INDEX_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: indexes another shard's scheduler "
+                    "directly — cross-shard work goes through "
+                    "Mailbox posts (ShardEngine::post via Link::transmit)")
+            if ENGINE_POST_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: calls ShardEngine::post outside the "
+                    "link layer — only Link::transmit may feed the "
+                    "cross-shard mailboxes")
+
+
+def check_thread_locals(source_dir, findings):
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        for lineno, line in enumerate(
+                strip_comments(path.read_text()).splitlines(), 1):
+            match = THREAD_LOCAL_RE.search(line)
+            if not match:
+                continue
+            idents = IDENT_RE.findall(match.group(1))
+            name = idents[-1] if idents else "?"
+            if (rel, name) not in THREAD_LOCAL_ALLOWLIST:
+                findings.append(
+                    f"{rel}:{lineno}: thread_local `{name}` is not on the "
+                    "shard_affinity.py allowlist — stray thread-locals are "
+                    "how PR 8's races snuck in; add it deliberately or use "
+                    "per-shard state")
+
+
+def call_sites(text, names):
+    """(lineno, name) for every `.name(` / `->name(` token in `text`."""
+    sites = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for name in names:
+            if re.search(r"(?:\.|->)\s*" + name + r"\s*\(", line):
+                sites.append((lineno, name))
+    return sites
+
+
+def check_affine_confinement(source_dir, markers, findings):
+    marked_names = {name for _, _, name in markers if name}
+    marked_names.update(*AFFINE_TABLE.values())
+    if not marked_names:
+        return
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if rel.startswith(AFFINE_MODULES):
+            continue
+        if rel in AFFINE_TABLE or rel == "src/common/thread_annotations.hpp":
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, name in call_sites(text, marked_names):
+            findings.append(
+                f"{rel}:{lineno}: calls shard-affine `{name}` from a "
+                "non-affine module — this code runs on arbitrary threads; "
+                "route through the owning shard's scheduler instead")
+
+
+def post_closure_spans(text):
+    """[(start_line, end_line, body)] of every engine-post argument list."""
+    spans = []
+    for match in ENGINE_POST_RE.finditer(text):
+        depth = 0
+        start = match.end() - 1  # the '('
+        for offset, ch in enumerate(text[start:], 0):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    body = text[start:start + offset + 1]
+                    first = text.count("\n", 0, start) + 1
+                    last = first + body.count("\n")
+                    spans.append((first, last, body))
+                    break
+    return spans
+
+
+def check_post_closures(source_dir, markers, findings):
+    marked_names = {name for _, _, name in markers if name}
+    marked_names.update(*AFFINE_TABLE.values())
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if rel in POST_CLOSURE_ALLOWLIST:
+            continue
+        text = strip_comments(path.read_text())
+        for first, _, body in post_closure_spans(text):
+            for offset, name in call_sites(body, marked_names):
+                findings.append(
+                    f"{rel}:{first + offset - 1}: shard-affine `{name}` "
+                    "called inside a mailbox-post closure — only the link "
+                    "delivery path may resume affine work on the "
+                    "destination shard")
+
+
+# ---- optional libclang upgrade for rule 4 ---------------------------------
+
+
+def libclang_affine_calls(source_dir, build_dir, marked_names):
+    """AST-accurate call sites of affine methods in non-affine modules, or
+    None when libclang / compile_commands.json is unavailable or fails —
+    the caller then uses the token scan."""
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError:
+        return None
+    compile_db = pathlib.Path(build_dir) / "compile_commands.json"
+    if not compile_db.exists():
+        return None
+    affine_classes = {"Host", "TcpStack", "GatingHooks", "ReplicatedService"}
+    source_root = pathlib.Path(source_dir).resolve()
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(compile_db.parent))
+        index = cindex.Index.create()
+        sites = []
+        for path in repo_sources(source_dir):
+            if path.suffix != ".cpp":
+                continue
+            rel = path.relative_to(source_dir).as_posix()
+            if rel.startswith(AFFINE_MODULES) or rel in AFFINE_TABLE:
+                continue
+            commands = db.getCompileCommands(str(path.resolve()))
+            if not commands:
+                continue
+            args = [a for a in list(commands[0].arguments)[1:]
+                    if a not in (str(path.resolve()), "-c", "-o")]
+            unit = index.parse(str(path.resolve()), args=args)
+            for cursor in unit.cursor.walk_preorder():
+                if cursor.kind != cindex.CursorKind.CALL_EXPR:
+                    continue
+                callee = cursor.referenced
+                if callee is None or callee.spelling not in marked_names:
+                    continue
+                parent = callee.semantic_parent
+                if parent is None or parent.spelling not in affine_classes:
+                    continue
+                location = cursor.location
+                if location.file is None:
+                    continue
+                try:
+                    at = pathlib.Path(location.file.name).resolve()
+                    file_rel = at.relative_to(source_root).as_posix()
+                except ValueError:
+                    continue
+                sites.append((file_rel, location.line, callee.spelling))
+        return sites
+    except Exception:  # noqa: BLE001 — degrade to the token scan
+        return None
+
+
+def run(source_dir, build_dir="build"):
+    """All five checks; returns the findings list."""
+    findings = []
+    markers = collect_markers(source_dir)
+    check_marker_drift(source_dir, markers, findings)
+    check_engine_access(source_dir, findings)
+    check_thread_locals(source_dir, findings)
+
+    marked_names = {name for _, _, name in markers if name}
+    marked_names.update(*AFFINE_TABLE.values())
+    ast_sites = libclang_affine_calls(source_dir, build_dir, marked_names)
+    if ast_sites is not None:
+        for rel, lineno, name in ast_sites:
+            findings.append(
+                f"{rel}:{lineno}: calls shard-affine `{name}` from a "
+                "non-affine module — this code runs on arbitrary threads; "
+                "route through the owning shard's scheduler instead")
+    else:
+        check_affine_confinement(source_dir, markers, findings)
+    check_post_closures(source_dir, markers, findings)
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-dir",
+                        default=str(pathlib.Path(__file__).resolve().parent
+                                    .parent))
+    parser.add_argument("--build-dir", default="build")
+    args = parser.parse_args()
+    findings = run(args.source_dir, args.build_dir)
+    if not findings:
+        print("OK: shard-affinity clean")
+        return 0
+    print(f"FAIL: {len(findings)} shard-affinity finding(s) vs empty "
+          "baseline:")
+    for finding in findings:
+        print(f"  {finding}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

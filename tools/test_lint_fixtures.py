@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Negative tests for the custom static gates.
+
+Each tree under tests/lint_fixtures/ contains exactly one deliberate
+violation of one lint rule.  This test runs the relevant run_static.py
+mode against every tree and asserts the gate *fires* (exit 1 with the
+expected diagnostic).  Without this, a regex typo in run_static.py or
+shard_affinity.py could silently disable a lint forever — every run
+would report a clean tree and nobody would notice.
+
+Run directly or via ctest (label: analysis).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOLS_DIR.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+# (fixture dir, run_static.py mode, substrings that must appear in output)
+CASES = [
+    (
+        "metric_drift",
+        "lint",
+        ["bad_metric.cpp", "metric `tcp.bogus_counter` is not in the DESIGN.md"],
+    ),
+    (
+        "span_drift",
+        "lint",
+        ["bad_span.cpp", "span `span.tcp.bogus` is not in the DESIGN.md"],
+    ),
+    (
+        "reinterpret",
+        "lint",
+        ["bad_cast.cpp", "raw reinterpret_cast outside src/common/"],
+    ),
+    (
+        "slab_bypass",
+        "lint",
+        ["bad_alloc.cpp", "direct new/delete of slab-owned"],
+    ),
+    (
+        "shard_affinity",
+        "affinity",
+        [
+            "bad_affinity.cpp",
+            "is not in the shard_affinity.py AFFINE_TABLE",
+            "indexes another shard's scheduler",
+            "calls ShardEngine::post outside the link layer",
+            "from a non-affine module",
+            "inside a mailbox-post closure",
+        ],
+    ),
+    (
+        "thread_local",
+        "affinity",
+        ["bad_tls.cpp", "thread_local `g_scratch` is not on the"],
+    ),
+]
+
+
+def run_case(fixture: str, mode: str, expected: list[str]) -> list[str]:
+    """Returns a list of failure descriptions (empty = pass)."""
+    tree = FIXTURES / fixture
+    if not tree.is_dir():
+        return [f"fixture tree missing: {tree}"]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(TOOLS_DIR / "run_static.py"),
+            mode,
+            "--source-dir",
+            str(tree),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    output = proc.stdout + proc.stderr
+    failures = []
+    if proc.returncode != 1:
+        failures.append(
+            f"expected exit 1 (gate fires), got {proc.returncode}; output:\n{output}"
+        )
+    for needle in expected:
+        if needle not in output:
+            failures.append(f"missing diagnostic {needle!r} in output:\n{output}")
+    return failures
+
+
+def main() -> int:
+    total_failures = 0
+    for fixture, mode, expected in CASES:
+        failures = run_case(fixture, mode, expected)
+        if failures:
+            total_failures += len(failures)
+            print(f"FAIL {fixture} ({mode}):")
+            for failure in failures:
+                print(f"  {failure}")
+        else:
+            print(f"ok   {fixture} ({mode}): gate fired with expected diagnostics")
+    if total_failures:
+        print(f"FAIL: {total_failures} fixture assertion(s) failed")
+        return 1
+    print(f"OK: all {len(CASES)} lint fixtures fire their gates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Driver for the `tsan_core_sweep` test.
+
+Configures and builds the `tsan` preset tree, then runs its `tsan_core`
+ctest label (scheduler fuzz, batch-property and shard tests under
+ThreadSanitizer).  Registered in the default sweep only on machines with
+>= 4 logical cores and a toolchain that accepts -fsanitize=thread
+(tools/CMakeLists.txt); exits 77 (ctest skip) if the configure still
+fails at runtime — e.g. a missing sanitizer runtime library.
+
+Usage: tsan_sweep.py --source-dir <repo root> [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+
+def run(cmd: list[str], cwd: Path | None = None) -> int:
+    print(f"+ {' '.join(cmd)}", flush=True)
+    return subprocess.run(cmd, cwd=cwd).returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-dir", required=True, type=Path)
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    source = args.source_dir.resolve()
+    build = source / "build-tsan"
+
+    if run(["cmake", "--preset", "tsan"], cwd=source) != 0:
+        print("SKIP: tsan preset failed to configure (no usable tsan runtime?)")
+        return SKIP
+    if run(["cmake", "--build", str(build), "--parallel", str(args.jobs)]) != 0:
+        print("FAIL: tsan build failed")
+        return 1
+    rc = run(["ctest", "-L", "tsan_core", "--output-on-failure"], cwd=build)
+    if rc != 0:
+        print(f"FAIL: tsan_core tests failed (rc={rc})")
+        return 1
+    print("OK: tsan_core suite clean under ThreadSanitizer")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
