@@ -77,7 +77,8 @@ std::uint16_t checksum_finish(std::uint32_t acc) {
   return static_cast<std::uint16_t>(~acc & 0xffff);
 }
 
-std::uint16_t internet_checksum(BytesView data, std::uint32_t initial) {
+std::uint16_t internet_checksum(BytesView data,
+                                std::uint32_t initial) HN_NONBLOCKING {
   return checksum_finish(checksum_accumulate(data, initial));
 }
 

@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -101,7 +103,9 @@ class ByteReader {
 };
 
 /// RFC 1071 Internet checksum over `data` (used by IPv4/UDP/TCP).
-std::uint16_t internet_checksum(BytesView data, std::uint32_t initial = 0);
+/// Hot-path effect root (DESIGN.md §12): pure arithmetic over the input.
+std::uint16_t internet_checksum(BytesView data,
+                                std::uint32_t initial = 0) HN_NONBLOCKING;
 
 /// Partial sum for building pseudo-header checksums incrementally.  Large
 /// buffers take a SIMD path (SSE2/AVX2 on x86-64, NEON on ARM, selected at
@@ -110,7 +114,9 @@ std::uint16_t internet_checksum(BytesView data, std::uint32_t initial = 0);
 /// Precondition (satisfied by every wire format: buffers are < 64 KiB and
 /// `acc` is a pseudo-header partial sum): `acc` plus the word sum must not
 /// overflow 32 bits, or the scalar loop silently drops carries.
-std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc);
+/// Hot-path effect root (DESIGN.md §12): pure arithmetic (SIMD or scalar).
+std::uint32_t checksum_accumulate(BytesView data,
+                                  std::uint32_t acc) HN_NONBLOCKING;
 
 /// The scalar reference sum (checksum.cpp); exposed so tests can pin the
 /// SIMD paths against it byte for byte.

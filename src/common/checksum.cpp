@@ -176,9 +176,14 @@ std::uint32_t checksum_accumulate_scalar(BytesView data, std::uint32_t acc) {
   return acc;
 }
 
-std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc) {
+std::uint32_t checksum_accumulate(BytesView data,
+                                  std::uint32_t acc) HN_NONBLOCKING {
   if (data.size() < 32) return checksum_accumulate_scalar(data, acc);
+  HN_EFFECT_ESCAPE(
+      "dispatch singleton: the magic-static init guard is acquired once "
+      "per process; every later call is a plain indirect jump")
   return impl().fn(data, acc);
+  HN_EFFECT_ESCAPE_END()
 }
 
 const char* checksum_impl_name() { return impl().name; }

@@ -129,7 +129,7 @@ DatapathCounters datapath_totals() { return datapath_registry().totals(); }
 
 void reset_datapath_counters() { datapath_registry().reset(); }
 
-Bytes acquire_pooled_bytes(std::size_t reserve) {
+Bytes acquire_pooled_bytes(std::size_t reserve) HN_NONALLOCATING {
   auto& pool = bytes_pool();
   if (!pool.empty()) {
     Bytes out = std::move(pool.back());
@@ -138,29 +138,45 @@ Bytes acquire_pooled_bytes(std::size_t reserve) {
       datapath_counters().pool_hits++;
       return out;
     }
+    HN_EFFECT_ESCAPE(
+        "counted pool miss (datapath.pool.misses): an under-sized recycled "
+        "capacity must grow — the bench gates bound how often")
     // Under-sized capacity: growing it is a real allocation, count it so.
     datapath_counters().pool_misses++;
     datapath_counters().allocations++;
     out.reserve(reserve);
     return out;
+    HN_EFFECT_ESCAPE_END()
   }
+  HN_EFFECT_ESCAPE(
+      "counted pool miss (datapath.pool.misses): an empty freelist is the "
+      "cold start the pool exists to amortise away")
   datapath_counters().pool_misses++;
   datapath_counters().allocations++;
   Bytes out;
   out.reserve(reserve);
   return out;
+  HN_EFFECT_ESCAPE_END()
 }
 
 namespace detail {
-void recycle_storage_bytes(Bytes&& data) {
+void recycle_storage_bytes(Bytes&& data) HN_NONALLOCATING {
   auto& pool = bytes_pool();
   if (data.capacity() < kMinPooledCapacity ||
       data.capacity() > kMaxPooledCapacity ||
       pool.size() >= kMaxPooledBytes) {
+    HN_EFFECT_ESCAPE(
+        "out-of-policy capacity: freeing it here is the bounded cold path "
+        "that keeps the retained pool small")
     return;  // the vector frees itself
+    HN_EFFECT_ESCAPE_END()
   }
   data.clear();
+  HN_EFFECT_ESCAPE(
+      "freelist push: the pool vector is capped at kMaxPooledBytes "
+      "entries, so its growth is bounded and one-time")
   pool.push_back(std::move(data));
+  HN_EFFECT_ESCAPE_END()
 }
 }  // namespace detail
 

@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/effect_annotations.hpp"
 
 namespace hydranet {
 
@@ -60,13 +61,17 @@ std::uint64_t inline_function_heap_allocs_total();
 /// serialisers use this so steady-state packet building reuses the byte
 /// buffers retired by earlier packets instead of hitting the allocator:
 /// when the Bytes is later adopted into a PacketBuffer, its capacity
-/// returns to the freelist once the last reference drops.
-Bytes acquire_pooled_bytes(std::size_t reserve);
+/// returns to the freelist once the last reference drops.  Hot-path effect
+/// root (DESIGN.md §12): warm acquisitions are a freelist pop — the heap is
+/// reached only on a counted pool miss (datapath.pool.misses).
+Bytes acquire_pooled_bytes(std::size_t reserve) HN_NONALLOCATING;
 
 namespace detail {
 /// Salvages a retired backing store's capacity into the freelist (bounded;
-/// tiny or oversized capacities are simply freed).
-void recycle_storage_bytes(Bytes&& data);
+/// tiny or oversized capacities are simply freed).  Hot-path effect root
+/// (DESIGN.md §12): the freelist vector is capped at kMaxPooledBytes
+/// entries, so its own growth is bounded and one-time.
+void recycle_storage_bytes(Bytes&& data) HN_NONALLOCATING;
 }  // namespace detail
 
 class PacketBuffer {

@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet {
 
 template <typename T>
@@ -40,8 +42,14 @@ class RingQueue {
   }
   const T& front() const { return (*this)[0]; }
 
-  void push_back(const T& v) {
+  /// Hot-path effect root (DESIGN.md §12): once the ring reaches its
+  /// high-water capacity, pushes are pure index arithmetic plus one store.
+  void push_back(const T& v) HN_NONBLOCKING {
+    HN_EFFECT_ESCAPE(
+        "ring growth: power-of-two doubling amortised over every element "
+        "pushed since; a ring at its high-water mark never reallocates")
     reserve_for(count_ + 1);
+    HN_EFFECT_ESCAPE_END()
     buf_[wrap(head_ + count_)] = v;
     count_++;
   }
@@ -76,8 +84,9 @@ class RingQueue {
     count_ += n;
   }
 
-  /// Drops the first `n` elements (n <= size()).
-  void pop_front(std::size_t n) {
+  /// Drops the first `n` elements (n <= size()).  Hot-path effect root
+  /// (DESIGN.md §12): never touches memory beyond the inline state.
+  void pop_front(std::size_t n) HN_NONBLOCKING {
     assert(n <= count_);
     count_ -= n;
     head_ = count_ == 0 ? 0 : wrap(head_ + n);

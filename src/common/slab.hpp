@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet {
 
 /// Slab accounting (see DESIGN.md §8).  One block per thread, aggregated
@@ -140,7 +142,9 @@ class SlabArena {
       c.bytes -= pages.size() * sizeof(Page);
     }
 
-    std::pair<void*, std::uint32_t> acquire() {
+    /// Hot-path effect root (DESIGN.md §12): slot recycle is a freelist
+    /// pop — no allocator traffic once the arena reached working-set size.
+    std::pair<void*, std::uint32_t> acquire() HN_NONALLOCATING {
       SlabCounters& c = slab_counters();
       std::uint32_t slot;
       if (!free_slots.empty()) {
@@ -148,7 +152,12 @@ class SlabArena {
         free_slots.pop_back();
         c.recycled++;
       } else {
+        HN_EFFECT_ESCAPE(
+            "slab page grow: the counted cold path (datapath.slab.pages) — "
+            "fires once per 64 connections of working-set growth, never "
+            "while slots recycle")
         if (fresh_slots.empty()) grow();
+        HN_EFFECT_ESCAPE_END()
         slot = fresh_slots.back();
         fresh_slots.pop_back();
       }
@@ -160,10 +169,17 @@ class SlabArena {
       return {p.slot_ptr(slot % kPageSlots), slot};
     }
 
-    void release(std::uint32_t slot) {
+    /// Hot-path effect root (DESIGN.md §12): retiring a slot pushes onto
+    /// the LIFO freelist; the vector's capacity tracks the arena's
+    /// high-water mark, so steady-state churn never reallocates.
+    void release(std::uint32_t slot) HN_NONALLOCATING {
       Page& p = *pages[slot / kPageSlots];
       p.occupied &= ~(std::uint64_t{1} << (slot % kPageSlots));
+      HN_EFFECT_ESCAPE(
+          "freelist push: capacity is bounded by the arena's high-water "
+          "slot count, so growth stops once the working set stops growing")
       free_slots.push_back(slot);
+      HN_EFFECT_ESCAPE_END()
       live--;
       SlabCounters& c = slab_counters();
       c.freed++;

@@ -1,5 +1,6 @@
 #include "ftcp/replicated_service.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -66,7 +67,9 @@ void ReplicatedService::shutdown() {
   // even an RST — would corrupt it.
   std::vector<tcp::ConnectionKey> keys;
   keys.reserve(connections_.size());
+  // hn-unordered-iter-ok: collect-only — keys are sorted before any effect
   for (const auto& [key, state] : connections_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   for (const auto& key : keys) {
     if (auto connection = live_connection(key)) {
       connection->set_hooks(nullptr);
@@ -85,6 +88,7 @@ void ReplicatedService::set_predecessor(
   predecessor_ = host_address;
   // Make sure the new predecessor learns our state promptly.
   if (predecessor_) {
+    // hn-unordered-iter-ok: order-independent — clears a flag on every entry
     for (auto& [key, state] : connections_) state->reported = false;
     refresh_now();
   }
@@ -97,6 +101,7 @@ void ReplicatedService::set_successor(
   // Successor identity changed: its previously-reported state no longer
   // applies.  The gates re-open from the new successor's refresh reports
   // (or immediately, if we are now last in the chain).
+  // hn-unordered-iter-ok: order-independent — resets gate flags per entry
   for (auto& [key, state] : connections_) {
     state->has_info = false;
     state->passthrough = false;
@@ -117,7 +122,9 @@ void ReplicatedService::promote_to_primary() {
   // against us from now on.
   std::vector<tcp::ConnectionKey> keys;
   keys.reserve(connections_.size());
+  // hn-unordered-iter-ok: collect-only — keys are sorted before any effect
   for (const auto& [key, state] : connections_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   for (const auto& key : keys) {
     if (auto connection = live_connection(key)) {
       connection->resend_unacknowledged();
@@ -455,7 +462,9 @@ void ReplicatedService::on_orphan_segment(const net::Ipv4Header& header,
 void ReplicatedService::poke_connections() {
   std::vector<tcp::ConnectionKey> keys;
   keys.reserve(connections_.size());
+  // hn-unordered-iter-ok: collect-only — keys are sorted before any effect
   for (const auto& [key, state] : connections_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   for (const auto& key : keys) {
     if (auto connection = live_connection(key)) connection->on_gate_update();
   }
@@ -465,7 +474,9 @@ void ReplicatedService::refresh_now() {
   if (config_.mode != tcp::ReplicaMode::backup || !predecessor_) return;
   std::vector<tcp::ConnectionKey> keys;
   keys.reserve(connections_.size());
+  // hn-unordered-iter-ok: collect-only — keys are sorted before any effect
   for (const auto& [key, state] : connections_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   for (const auto& key : keys) {
     if (auto connection = live_connection(key)) {
       report(key, connection.get()->snd_nxt_wire(),
@@ -481,6 +492,7 @@ void ReplicatedService::refresh() {
 
   // Garbage-collect gate states whose connection is long gone.
   sim::TimePoint now = host_.scheduler().now();
+  // hn-unordered-iter-ok: order-independent — erase-only sweep, no effects
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (live_connection(it->first) == nullptr &&
         now - it->second->last_activity > kStateGcAge) {

@@ -1,5 +1,7 @@
 #include "net/tcp_header.hpp"
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet::net {
 
 std::string TcpHeader::flags_string() const {
@@ -39,7 +41,12 @@ Bytes serialize_tcp(const TcpSegment& segment, Ipv4Address src,
         opt.u32(h.sack_blocks[i].second);
       }
     }
+    HN_EFFECT_ESCAPE(
+        "TCP option padding: only SYN and SACK-bearing segments carry "
+        "options; the plain data/ACK fast path leaves the buffer empty "
+        "and skips this loop")
     while (options.size() % 4 != 0) options.push_back(1);  // NOP padding
+    HN_EFFECT_ESCAPE_END()
   }
   const std::size_t header_len = TcpHeader::kSize + options.size();
   auto total = static_cast<std::uint16_t>(header_len + segment.payload.size());

@@ -35,7 +35,11 @@ std::uint32_t Scheduler::acquire_slot() {
     slots_[index].next_free = kNoFreeSlot;
     return index;
   }
+  HN_EFFECT_ESCAPE(
+      "slot-pool grow: amortised one-time — slots recycle through the free "
+      "list, so the steady state never reaches this line")
   slots_.emplace_back();
+  HN_EFFECT_ESCAPE_END()
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -63,7 +67,11 @@ int Scheduler::level_for(std::uint64_t t) const {
 
 void Scheduler::wheel_insert(const QEntry& entry) {
   if (wheel_.empty()) {  // first staging overflow: materialise the buckets
+    HN_EFFECT_ESCAPE(
+        "lazy one-time wheel materialisation: only the first staging "
+        "overflow of the whole run pays this allocation")
     wheel_.resize(static_cast<std::size_t>(kLevels) * kWheelSlots);
+    HN_EFFECT_ESCAPE_END()
   }
   const auto t = static_cast<std::uint64_t>(entry.time.ns);
   const int level = level_for(t);
@@ -73,7 +81,11 @@ void Scheduler::wheel_insert(const QEntry& entry) {
   if (!b.entries.empty() && entry.seq < b.entries.back().seq) {
     b.unsorted = true;  // cascade appended behind a later schedule
   }
+  HN_EFFECT_ESCAPE(
+      "bucket vectors retain capacity across drains: push_back allocates "
+      "only while a bucket grows past its all-time high-water mark")
   b.entries.push_back(entry);
+  HN_EFFECT_ESCAPE_END()
   LevelOccupancy& occ = occupied_[level];
   occ.words[slot_index >> 6] |= 1ull << (slot_index & 63);
   occ.summary |= 1ull << (slot_index >> 6);
@@ -135,11 +147,19 @@ void Scheduler::execute_staging(std::size_t index) {
   Slot& slot = slots_[entry.slot];
   now_ = entry.time;
 #if HYDRANET_INVARIANTS
+  HN_EFFECT_ESCAPE(
+      "invariant sink: reaches an effect only on protocol-violation abort, "
+      "never on the healthy warm path (compiled out of Release)")
   check_execution(entry.time, entry.seq);
+  HN_EFFECT_ESCAPE_END()
 #endif
   Callback cb = std::move(slot.cb);
   release_slot(entry.slot);
+  HN_EFFECT_ESCAPE(
+      "event-callback dispatch: the callee is outside the scheduler's own "
+      "effect contract (callbacks own their effects)")
   cb();
+  HN_EFFECT_ESCAPE_END()
 }
 
 int Scheduler::find_first_occupied(int level, std::uint32_t pos) const {
@@ -214,8 +234,13 @@ std::size_t Scheduler::drain_due_bucket(std::uint32_t slot_index,
                                         bool single_step) {
   Bucket& b = bucket(0, slot_index);
   if (b.unsorted) {
+    HN_EFFECT_ESCAPE(
+        "one-time in-place re-sort of a cascade-disordered bucket: "
+        "std::sort on a contiguous POD range, no allocation, amortised "
+        "across every entry the bucket drains")
     std::sort(b.entries.begin() + b.drained, b.entries.end(),
               [](const QEntry& x, const QEntry& y) { return x.seq < y.seq; });
+    HN_EFFECT_ESCAPE_END()
     b.unsorted = false;
   }
   std::size_t executed = 0;
@@ -228,7 +253,11 @@ std::size_t Scheduler::drain_due_bucket(std::uint32_t slot_index,
     if (!slot.armed || slot.generation != entry.generation) continue;
     now_ = entry.time;
 #if HYDRANET_INVARIANTS
+    HN_EFFECT_ESCAPE(
+        "invariant sink: reaches an effect only on protocol-violation "
+        "abort, never on the healthy warm path (compiled out of Release)")
     check_execution(entry.time, entry.seq);
+    HN_EFFECT_ESCAPE_END()
 #endif
     // Move the callback out before recycling the slot: it may re-schedule
     // (growing the pool) or cancel other timers re-entrantly.
@@ -237,7 +266,11 @@ std::size_t Scheduler::drain_due_bucket(std::uint32_t slot_index,
     if (b.drained == b.entries.size()) {
       reset_bucket(0, slot_index);  // before cb(): its appends must survive
     }
+    HN_EFFECT_ESCAPE(
+        "event-callback dispatch: the callee is outside the scheduler's "
+        "own effect contract (callbacks own their effects)")
     cb();
+    HN_EFFECT_ESCAPE_END()
     ++executed;
     if (single_step) return executed;
   }
@@ -245,7 +278,7 @@ std::size_t Scheduler::drain_due_bucket(std::uint32_t slot_index,
   return executed;
 }
 
-TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
+TimerId Scheduler::schedule_at(TimePoint t, Callback cb) HN_NONBLOCKING {
   assert(cb);
   if (t < now_) t = now_;  // clamp: "immediately" for past deadlines
   if (staging_.size() >= kStagingCap) {
@@ -257,7 +290,11 @@ TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
                          static_cast<std::ptrdiff_t>(staging_head_));
       staging_head_ = 0;
     }
+    HN_EFFECT_ESCAPE(
+        "staging-buffer spill: flush_staging moves entries into wheel "
+        "buckets, whose one-time growth is sanctioned at the insert site")
     if (staging_.size() >= kStagingCap) flush_staging();
+    HN_EFFECT_ESCAPE_END()
   }
   std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
@@ -266,6 +303,9 @@ TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
   // Keep staging sorted by (time, seq): this entry has the highest seq so
   // far, so it goes after every existing entry with the same time.
   const QEntry entry{t, next_seq_++, index, slot.generation};
+  HN_EFFECT_ESCAPE(
+      "staging capacity is pinned at kStagingCap and reserved at "
+      "construction: push_back/insert below never reallocate")
   if (staging_.empty() || !(t.ns < staging_.back().time.ns)) {
     staging_.push_back(entry);  // common case: at-or-after the latest time
   } else {
@@ -275,16 +315,17 @@ TimerId Scheduler::schedule_at(TimePoint t, Callback cb) {
         [](std::int64_t time, const QEntry& e) { return time < e.time.ns; });
     staging_.insert(it, entry);
   }
+  HN_EFFECT_ESCAPE_END()
   live_++;
   return make_id(index, slot.generation);
 }
 
-TimerId Scheduler::schedule_after(Duration d, Callback cb) {
+TimerId Scheduler::schedule_after(Duration d, Callback cb) HN_NONBLOCKING {
   if (d.ns < 0) d = Duration{0};
   return schedule_at(now_ + d, std::move(cb));
 }
 
-void Scheduler::cancel(TimerId id) {
+void Scheduler::cancel(TimerId id) HN_NONBLOCKING {
   if (id == kInvalidTimer) return;
   std::uint32_t index = static_cast<std::uint32_t>(id >> 32) - 1;
   std::uint32_t generation = static_cast<std::uint32_t>(id);
@@ -294,7 +335,7 @@ void Scheduler::cancel(TimerId id) {
   release_slot(index);  // the stale bucket entry is skipped on drain
 }
 
-bool Scheduler::run_next() {
+bool Scheduler::run_next() HN_NONBLOCKING {
   while (live_ > 0) {
     const NextDue due = find_next_due();
     assert(due.level >= 0);
@@ -314,7 +355,7 @@ bool Scheduler::run_next() {
   return false;
 }
 
-std::size_t Scheduler::run_until(TimePoint t) {
+std::size_t Scheduler::run_until(TimePoint t) HN_NONBLOCKING {
   std::size_t executed = 0;
   while (live_ > 0) {
     const NextDue due = find_next_due();

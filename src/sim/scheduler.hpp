@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/effect_annotations.hpp"
 #include "common/inline_function.hpp"
 #include "sim/time.hpp"
 
@@ -68,22 +69,26 @@ class Scheduler {
   TimePoint now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
-  TimerId schedule_at(TimePoint t, Callback cb);
+  /// Hot-path effect root (DESIGN.md §12): allocation-free and lock-free in
+  /// steady state; sanctioned cold paths (slot-pool grow, staging spill)
+  /// carry HN_EFFECT_ESCAPE regions in the definition.
+  TimerId schedule_at(TimePoint t, Callback cb) HN_NONBLOCKING;
 
   /// Schedules `cb` after delay `d` from now (d < 0 is clamped to now).
-  TimerId schedule_after(Duration d, Callback cb);
+  TimerId schedule_after(Duration d, Callback cb) HN_NONBLOCKING;
 
   /// Revokes a pending event.  Cancelling an already-fired or invalid id is
   /// a harmless no-op (the common case when a timer raced its cancellation).
-  void cancel(TimerId id);
+  void cancel(TimerId id) HN_NONBLOCKING;
 
   /// Executes the next pending event, advancing the clock.  Returns false
-  /// if the queue is empty.
-  bool run_next();
+  /// if the queue is empty.  Effect contract covers the dispatch machinery
+  /// only — the event callbacks themselves are outside it.
+  bool run_next() HN_NONBLOCKING;
 
   /// Runs all events with time <= t, then advances the clock to exactly t.
   /// Returns the number of events executed.
-  std::size_t run_until(TimePoint t);
+  std::size_t run_until(TimePoint t) HN_NONBLOCKING;
 
   /// Runs events for the next `d` of simulated time.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }

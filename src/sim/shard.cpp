@@ -67,7 +67,7 @@ void ShardEngine::observe_cross_shard_latency(Duration d) {
 }
 
 void ShardEngine::post(std::size_t from, std::size_t to, TimePoint at,
-                       Scheduler::Callback cb) {
+                       Scheduler::Callback cb) HN_NONBLOCKING {
   if (!running_ || from == to) {
     // Engine idle (topology building, between-run injection) or local:
     // straight onto the destination wheel.
@@ -77,14 +77,22 @@ void ShardEngine::post(std::size_t from, std::size_t to, TimePoint at,
   counters_[from].mailbox_posted++;
   Mailbox& mb = mailbox(from, to);
   if (mb.ring.size() < config_.mailbox_ring_capacity) {
+    HN_EFFECT_ESCAPE(
+        "ring push within reserved capacity (mailbox_ring_capacity is "
+        "reserved at construction): never reallocates")
     mb.ring.push_back({at, std::move(cb)});
+    HN_EFFECT_ESCAPE_END()
   } else {
     counters_[from].mailbox_overflows++;
+    HN_EFFECT_ESCAPE(
+        "counted overflow spill (shard.mailbox.overflows): correct but "
+        "slower — the bounded ring is the warm path")
     mb.overflow.push_back({at, std::move(cb)});
+    HN_EFFECT_ESCAPE_END()
   }
 }
 
-std::size_t ShardEngine::drain_inboxes(std::size_t shard) {
+std::size_t ShardEngine::drain_inboxes(std::size_t shard) HN_NONBLOCKING {
   Scheduler& sched = *schedulers_[shard];
   std::size_t drained = 0;
   // Fixed source order keeps scheduling seqs — and therefore same-time

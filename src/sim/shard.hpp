@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/effect_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "sim/scheduler.hpp"
@@ -93,8 +94,11 @@ class ShardEngine {
   /// scheduler.  Called from shard `from`'s thread during its run phase
   /// (or from the main thread while the engine is idle, in which case the
   /// message is delivered at the next drain).
+  /// Hot-path effect root (DESIGN.md §12): during a run phase this is a
+  /// plain-vector push into a pre-reserved ring — no locks, no atomics
+  /// (the phase barriers carry the memory ordering).
   void post(std::size_t from, std::size_t to, TimePoint at,
-            Scheduler::Callback cb);
+            Scheduler::Callback cb) HN_NONBLOCKING;
 
   /// Runs all shards until every clock reaches exactly `t` and all events
   /// (and cross-shard messages) with time <= t have executed.  Returns
@@ -181,7 +185,9 @@ class ShardEngine {
   /// under job_mu_ (the dispatch handshake), so the shared slot is only
   /// ever touched with the lock held.
   void participate(std::size_t shard, Job job);
-  std::size_t drain_inboxes(std::size_t shard);
+  /// Hot-path effect root (DESIGN.md §12): moves messages from the plain
+  /// mailbox vectors onto the shard's wheel; producers are quiescent.
+  std::size_t drain_inboxes(std::size_t shard) HN_NONBLOCKING;
   void worker_main(std::size_t shard);
 
   Config config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet::stats {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -11,7 +13,14 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double value) {
-  if (buckets_.empty()) buckets_.assign(1, 0);  // default: overflow only
+  if (buckets_.empty()) {
+    HN_EFFECT_ESCAPE(
+        "lazy one-time bucket materialisation for default-constructed "
+        "histograms; every later observe increments fixed buckets in "
+        "place")
+    buckets_.assign(1, 0);  // default: overflow only
+    HN_EFFECT_ESCAPE_END()
+  }
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   buckets_[static_cast<std::size_t>(it - bounds_.begin())]++;
   if (count_ == 0 || value < min_) min_ = value;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/effect_annotations.hpp"
+
 namespace hydranet::tcp {
 
 ReassemblyBuffer::InsertResult ReassemblyBuffer::insert(
@@ -150,7 +152,12 @@ ReassemblyBuffer::blocks_beyond(std::uint64_t base,
       continue;
     }
     if (open) {
+      HN_EFFECT_ESCAPE(
+          "SACK island assembly: at most max_blocks (kMaxSackBlocks) "
+          "entries, and only reached when the reassembly queue has gaps — "
+          "the out-of-order path, never the in-order fast path")
       blocks.emplace_back(current_start, current_end);
+      HN_EFFECT_ESCAPE_END()
       if (blocks.size() >= max_blocks) return blocks;
     }
     open = true;
@@ -158,7 +165,11 @@ ReassemblyBuffer::blocks_beyond(std::uint64_t base,
     current_end = end;
   }
   if (open && blocks.size() < max_blocks) {
+    HN_EFFECT_ESCAPE(
+        "SACK island assembly tail: same bound and same out-of-order-only "
+        "reachability as the loop above")
     blocks.emplace_back(current_start, current_end);
+    HN_EFFECT_ESCAPE_END()
   }
   return blocks;
 }

@@ -412,7 +412,8 @@ void TcpConnection::test_deposit_out_of_window(std::size_t len) {
 }
 #endif
 
-bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
+bool TcpConnection::try_fast_path(
+    const net::TcpSegment& segment) HN_NONBLOCKING {
   const net::TcpHeader& h = segment.header;
   // Entry conditions (header prediction): steady-state ESTABLISHED, a
   // plain ACK(+PSH) at exactly the expected SEQ, no SACK traffic, no FIN
@@ -492,7 +493,12 @@ bool TcpConnection::try_fast_path(const net::TcpSegment& segment) {
   if (len > 0) {
     // Straight-line deposit: what insert-then-deposit_in_order() would do
     // with an empty reassembly buffer and an open (or absent) gate.
+    HN_EFFECT_ESCAPE(
+        "receive-ring append: RingQueue grows by power-of-two doubling and "
+        "retains capacity across reads, so a flow's steady state writes in "
+        "place")
     readable_.append(segment.payload.begin(), segment.payload.end());
+    HN_EFFECT_ESCAPE_END()
     rcv_nxt_ += len;
     ack_pending_ = true;
     notify_readable();
@@ -1037,10 +1043,17 @@ void TcpConnection::send_segment(std::uint64_t seq_off, BytesView payload,
     // staged prefix — see ReassemblyBuffer::blocks_beyond).
     for (const auto& [left, right] :
          reassembly_.blocks_beyond(rcv_nxt_, net::TcpHeader::kMaxSackBlocks)) {
+      HN_EFFECT_ESCAPE(
+          "SACK block list: bounded by kMaxSackBlocks entries and only "
+          "built while the reassembly queue has gaps — the out-of-order "
+          "path, never the in-order fast path")
       h.sack_blocks.emplace_back(off_to_seq_rcv(left), off_to_seq_rcv(right));
+      HN_EFFECT_ESCAPE_END()
     }
   }
-  segment.payload.assign(payload.begin(), payload.end());
+  // copy_of routes the payload copy through the warm packet pool; the
+  // iterator-pair assign it replaces allocated a fresh vector per segment.
+  segment.payload = CowBytes::copy_of(payload);
 
   stats_.segments_sent++;
   last_activity_ = scheduler_.now();  // outbound traffic resets keepalive

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/effect_annotations.hpp"
 #include "common/result.hpp"
 #include "common/ring_queue.hpp"
 #include "common/slab.hpp"
@@ -205,7 +206,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// and an in-order data segment with nothing unusual in flight — and
   /// handles them completely, with effects identical to the full state
   /// machine.  Returns false (connection untouched) on anything else.
-  bool try_fast_path(const net::TcpSegment& segment);
+  /// Hot-path effect root (DESIGN.md §12): header prediction plus the
+  /// cached deposit-gate compare — straight-line, allocation-free against
+  /// warm pools, no locks, no I/O.
+  bool try_fast_path(const net::TcpSegment& segment) HN_NONBLOCKING;
 #if HYDRANET_INVARIANTS
   /// Post-segment stream sanity (both fast and slow paths).
   void check_stream_invariants(std::uint64_t rcv_nxt_before,

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/effect_annotations.hpp"
 #include "common/logging.hpp"
 #include "trace2/recorder.hpp"
 #include "trace2/span.hpp"
@@ -30,7 +31,14 @@ TcpStack::~TcpStack() {
 }
 
 void TcpStack::request_page_tick(std::size_t page, sim::TimePoint when) {
-  if (page_ticks_.size() <= page) page_ticks_.resize(page + 1);
+  if (page_ticks_.size() <= page) {
+    HN_EFFECT_ESCAPE(
+        "page-tick table growth: one entry per new slab page (page "
+        "granularity, not per connection or per segment); steady-state "
+        "ticks index in place")
+    page_ticks_.resize(page + 1);
+    HN_EFFECT_ESCAPE_END()
+  }
   PageTick& tick = page_ticks_[page];
   if (tick.armed && tick.deadline <= when) return;  // already early enough
   scheduler().cancel(tick.timer);
@@ -181,6 +189,7 @@ void TcpStack::remove_connection(const ConnectionKey& key) {
 
 TcpConnection::Stats TcpStack::aggregate_stats() const {
   TcpConnection::Stats total = closed_stats_;
+  // hn-unordered-iter-ok: order-independent — stat merge is commutative
   for (const auto& [key, connection] : connections_) {
     total.merge(connection->stats());
   }
@@ -219,6 +228,7 @@ void TcpStack::remove_listener(const net::Endpoint& endpoint) {
   if (removed == nullptr) return;
 
   // Orphan any connections still waiting to be accepted on this listener.
+  // hn-unordered-iter-ok: order-independent — erase-only sweep, no effects
   for (auto it = pending_accepts_.begin(); it != pending_accepts_.end();) {
     if (it->second == removed.get()) {
       it = pending_accepts_.erase(it);

@@ -39,6 +39,10 @@ struct ConnectionKey {
   net::Endpoint remote;
 
   bool operator==(const ConnectionKey&) const = default;
+  /// Ordering for deterministic iteration: connection sets live in hash
+  /// maps, so anything that acts on "all connections" collects the keys
+  /// and sorts them first (see the unordered-iteration lint).
+  auto operator<=>(const ConnectionKey&) const = default;
   std::string to_string() const {
     return local.to_string() + "<->" + remote.to_string();
   }

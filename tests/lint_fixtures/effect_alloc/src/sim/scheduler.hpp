@@ -1,0 +1,29 @@
+// Fixture: a catalogued hot-path root (`cancel`, at its tabled path) whose
+// helper hides a heap allocation two calls deep.  The hotpath_effects gate
+// must walk the call graph and flag the `new`, not just scan the root body.
+#pragma once
+
+#include "common/effect_annotations.hpp"
+
+namespace hydranet::sim {
+
+class Scheduler {
+ public:
+  void cancel(int id) HN_NONBLOCKING {
+    forget(id);
+  }
+
+ private:
+  void forget(int id) {
+    remember_cancellation(id);
+  }
+
+  void remember_cancellation(int id) {
+    auto* slot = new int(id);  // hidden allocation on the hot path
+    last_ = slot;
+  }
+
+  int* last_ = nullptr;
+};
+
+}  // namespace hydranet::sim

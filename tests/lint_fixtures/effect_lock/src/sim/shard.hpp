@@ -1,0 +1,28 @@
+// Fixture: a catalogued hot-path root (`post`, at its tabled path) that
+// reaches a mutex acquisition through a helper.  The hotpath_effects gate
+// must flag the lock even though the root body itself never names a mutex.
+#pragma once
+
+#include "common/effect_annotations.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace hydranet::sim {
+
+class Mailbox {
+ public:
+  void post(int msg) HN_NONBLOCKING {
+    enqueue(msg);
+  }
+
+ private:
+  void enqueue(int msg) {
+    mu_.lock();  // blocking acquisition on the hot path
+    pending_ = msg;
+    mu_.unlock();
+  }
+
+  Mutex mu_;
+  int pending_ = 0;
+};
+
+}  // namespace hydranet::sim

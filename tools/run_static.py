@@ -8,6 +8,7 @@ Usage:
     run_static.py lint         [--source-dir DIR]
     run_static.py threadsafety [--source-dir DIR]
     run_static.py affinity     [--build-dir DIR] [--source-dir DIR]
+    run_static.py effects      [--build-dir DIR] [--source-dir DIR]
     run_static.py --all        [--build-dir DIR] [--source-dir DIR]
 
 Each mode prints normalised findings and exits non-zero when there are
@@ -16,7 +17,11 @@ them in a growing baseline file).  Exit code 77 means the required tool
 is not installed, which ctest (SKIP_RETURN_CODE 77) reports as a skip,
 keeping the suite green on minimal containers while CI images with the
 tools installed enforce the gate.  `--all` runs every mode and prints a
-per-mode summary table (exit non-zero if any mode failed).
+per-mode summary table (exit non-zero if any mode failed; exit 77 when
+every mode skipped, so ctest reports the hollow run as a skip instead
+of a pass).  `--json PATH` (any mode, or --all) additionally writes a
+machine-readable summary: per-mode status (ok/fail/skip) and finding
+count, for CI annotations and trend dashboards.
 
 The `lint` mode needs no external tools and always runs:
   * metric-name cross-check — every string literal in src/ that looks
@@ -47,6 +52,12 @@ full build when the configured compiler is Clang.
 The `affinity` mode runs tools/shard_affinity.py — the other half of
 the contract: HN_SHARD_AFFINE confinement, cross-shard reach-around
 bans, and the thread_local allowlist.  Token-level, so it always runs.
+
+The `effects` mode runs tools/hotpath_effects.py — the hot-path effect
+contract (DESIGN.md §12): no allocation, locking, throwing, or I/O
+reachable from the HN_NONALLOCATING / HN_NONBLOCKING datapath roots
+outside sanctioned HN_EFFECT_ESCAPE regions.  Token-level with an
+optional libclang upgrade, so it always runs.
 """
 
 import argparse
@@ -75,6 +86,18 @@ STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 # The stats exporter re-imports previously exported snapshots, so metric
 # names flow through it as data, not as declarations.
 METRIC_SCAN_EXCLUDE = {"src/stats/export.cpp"}
+
+# Directories where iterating a std::unordered_map/unordered_set is banned:
+# hash order is implementation-defined, so any side effect sequenced by it
+# (teardown order, retransmit order, gate updates, ack-channel reports)
+# silently varies across standard libraries and breaks the simulator's
+# determinism contract.  The sanctioned idioms are (a) collect the keys and
+# sort them before acting, or (b) prove the loop body order-independent;
+# either way the site carries `// hn-unordered-iter-ok: <why>` on the loop
+# (or the line above it) with a non-empty justification.
+UNORDERED_ITER_DIRS = ("src/sim/", "src/tcp/", "src/ftcp/", "src/redirector/")
+UNORDERED_ITER_OK = re.compile(r"//\s*hn-unordered-iter-ok:\s*(\S.*)?$")
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
 
 # Types whose storage is owned by SlabArena (src/common/slab.hpp): direct
 # heap allocation or deletion of them anywhere in src/ bypasses the slab.
@@ -105,7 +128,14 @@ def skip(tool):
     return SKIP
 
 
+# Finding count of the most recent report() call, for the --json summary
+# (skipped modes never call report(), so the count stays at 0).
+LAST_FINDING_COUNT = 0
+
+
 def report(findings, what):
+    global LAST_FINDING_COUNT
+    LAST_FINDING_COUNT = len(findings)
     if not findings:
         print(f"OK: {what} clean")
         return 0
@@ -228,6 +258,16 @@ def run_affinity(args):
     return report(findings, "shard-affinity")
 
 
+# ---- hot-path effect contract ----------------------------------------------
+
+
+def run_effects(args):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import hotpath_effects  # noqa: PLC0415 — sibling module
+    findings = hotpath_effects.run(args.source_dir, args.build_dir)
+    return report(findings, "hot-path effects")
+
+
 # ---- custom lints ---------------------------------------------------------
 
 
@@ -306,6 +346,68 @@ def code_metric_names(source_dir):
     return names
 
 
+def unordered_container_names(source_dir):
+    """Names of every variable/field declared as a std::unordered_map or
+    std::unordered_set anywhere in src/ (declarations may wrap lines, so
+    the template argument list is matched with an angle-bracket counter)."""
+    names = set()
+    for path in repo_sources(source_dir):
+        text = path.read_text()
+        for match in UNORDERED_DECL_RE.finditer(text):
+            pos = match.end()
+            depth = 1
+            while pos < len(text) and depth > 0:
+                if text[pos] == "<":
+                    depth += 1
+                elif text[pos] == ">":
+                    depth -= 1
+                pos += 1
+            name_match = re.match(r"\s*(\w+)\s*[;{=]", text[pos:])
+            if name_match:
+                names.add(name_match.group(1))
+    return names
+
+
+def unordered_iteration_findings(source_dir):
+    """Range-for loops and .begin()/.cbegin() walks over unordered
+    containers inside UNORDERED_ITER_DIRS, minus sites sanctioned with a
+    justified hn-unordered-iter-ok comment."""
+    findings = []
+    names = unordered_container_names(source_dir)
+    if not names:
+        return findings
+    name_alt = "|".join(sorted(names))
+    range_for = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+\.)*(" + name_alt
+                           + r")\s*\)")
+    begin_walk = re.compile(r"\b(" + name_alt + r")\s*\.\s*c?begin\s*\(")
+    for path in repo_sources(source_dir):
+        rel = path.relative_to(source_dir).as_posix()
+        if not rel.startswith(UNORDERED_ITER_DIRS):
+            continue
+        lines = path.read_text().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            match = range_for.search(line) or begin_walk.search(line)
+            if not match:
+                continue
+            sanction = (UNORDERED_ITER_OK.search(line)
+                        or (lineno >= 2
+                            and UNORDERED_ITER_OK.search(lines[lineno - 2])))
+            if sanction and (sanction.group(1) or "").strip():
+                continue
+            if sanction:
+                findings.append(
+                    f"{rel}:{lineno}: hn-unordered-iter-ok without a "
+                    "justification — say why the order cannot matter")
+                continue
+            findings.append(
+                f"{rel}:{lineno}: iteration over unordered container "
+                f"`{match.group(1)}` — hash order is implementation-"
+                "defined; collect-and-sort the keys, or mark the loop "
+                "`// hn-unordered-iter-ok: <why>` if provably "
+                "order-independent")
+    return findings
+
+
 def run_lint(args):
     findings = []
 
@@ -348,6 +450,8 @@ def run_lint(args):
                     "connection state — construct through "
                     "SlabArena (see src/common/slab.hpp)")
 
+    findings += unordered_iteration_findings(args.source_dir)
+
     return report(findings, "lint")
 
 
@@ -357,22 +461,66 @@ MODES = {
     "lint": run_lint,
     "threadsafety": run_threadsafety,
     "affinity": run_affinity,
+    "effects": run_effects,
 }
+
+STATUS_OF = {0: "ok", SKIP: "skip"}
+
+
+def run_modes(args, modes):
+    """Runs `modes` in sequence; returns {mode: (exit code, findings)}."""
+    global LAST_FINDING_COUNT
+    results = {}
+    for mode in modes:
+        if len(modes) > 1:
+            print(f"==== {mode} " + "=" * (60 - len(mode)))
+        LAST_FINDING_COUNT = 0
+        code = MODES[mode](args)
+        results[mode] = (code, LAST_FINDING_COUNT)
+    return results
+
+
+def write_json_summary(path, results):
+    summary = {
+        "modes": {
+            mode: {
+                "status": STATUS_OF.get(code, "fail"),
+                "findings": count,
+            }
+            for mode, (code, count) in results.items()
+        },
+        "total_findings": sum(count for _code, count in results.values()),
+        "failed": sorted(mode for mode, (code, _n) in results.items()
+                         if code not in (0, SKIP)),
+        "skipped": sorted(mode for mode, (code, _n) in results.items()
+                          if code == SKIP),
+    }
+    pathlib.Path(path).write_text(json.dumps(summary, indent=2) + "\n")
+
+
+def aggregate(results):
+    """One exit code for a set of modes: fail if any mode failed, skip
+    (77) if *every* mode skipped — a run that checked nothing must not
+    read as a pass — ok otherwise."""
+    codes = [code for code, _count in results.values()]
+    if any(code not in (0, SKIP) for code in codes):
+        return 1
+    if codes and all(code == SKIP for code in codes):
+        return SKIP
+    return 0
 
 
 def run_all(args):
     """Every mode in sequence, with a per-mode summary table."""
-    results = {}
-    for mode, runner in MODES.items():
-        print(f"==== {mode} " + "=" * (60 - len(mode)))
-        results[mode] = runner(args)
+    results = run_modes(args, list(MODES))
     print()
-    print("mode          result")
-    print("------------  ------")
-    for mode, code in results.items():
-        status = {0: "OK", SKIP: "SKIP"}.get(code, "FAIL")
-        print(f"{mode:<12}  {status}")
-    return 1 if any(code not in (0, SKIP) for code in results.values()) else 0
+    print("mode          result  findings")
+    print("------------  ------  --------")
+    for mode, (code, count) in results.items():
+        status = STATUS_OF.get(code, "fail").upper()
+        shown = "-" if code == SKIP else str(count)
+        print(f"{mode:<12}  {status:<6}  {shown}")
+    return results
 
 
 def main():
@@ -380,16 +528,22 @@ def main():
     parser.add_argument("mode", nargs="?", choices=sorted(MODES))
     parser.add_argument("--all", action="store_true",
                         help="run every mode with a summary table")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable per-mode summary")
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--source-dir",
                         default=str(pathlib.Path(__file__).resolve().parent
                                     .parent))
     args = parser.parse_args()
     if args.all:
-        return run_all(args)
-    if args.mode is None:
+        results = run_all(args)
+    elif args.mode is None:
         parser.error("a mode (or --all) is required")
-    return MODES[args.mode](args)
+    else:
+        results = run_modes(args, [args.mode])
+    if args.json:
+        write_json_summary(args.json, results)
+    return aggregate(results)
 
 
 if __name__ == "__main__":

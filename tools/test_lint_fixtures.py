@@ -60,6 +60,25 @@ CASES = [
         "affinity",
         ["bad_tls.cpp", "thread_local `g_scratch` is not on the"],
     ),
+    (
+        "effect_alloc",
+        "effects",
+        [
+            "scheduler.hpp",
+            "allocation `new` in `remember_cancellation`",
+            "reachable from a hot-path effect root "
+            "(cancel -> forget -> remember_cancellation)",
+        ],
+    ),
+    (
+        "effect_lock",
+        "effects",
+        [
+            "shard.hpp",
+            "lock `lock()` in `enqueue`",
+            "reachable from a hot-path effect root (post -> enqueue)",
+        ],
+    ),
 ]
 
 
